@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+Two session-scoped evaluators are shared across all benchmark files:
+
+* ``full_evaluator`` — benchmark-scale settings, used by the headline
+  per-application figures (10, 11, 12, 13, 14, 15, 1, 4, 5, 20);
+* ``medium_evaluator`` — reduced-scale settings for the parameter
+  sweeps (3, 16, 17, 18, 19, 21), which rebuild plans many times.
+
+Every benchmark writes its result table to ``benchmarks/results/``;
+EXPERIMENTS.md records those tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import Evaluator, ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_evaluator():
+    return Evaluator(ExperimentSettings())
+
+
+@pytest.fixture(scope="session")
+def medium_evaluator():
+    return Evaluator(ExperimentSettings.medium())
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,33 @@
+"""Fig. 1: frontend-bound pipeline-slot fractions.
+
+Paper: the nine applications spend 23%-80% of their pipeline slots
+waiting on I-cache misses, with the HHVM/PHP stacks at the high end.
+Shape targets: every app has a substantial frontend-bound fraction,
+spread over a wide range, and a PHP app ranks in the top three.
+"""
+
+from repro.analysis.experiments import fig01_frontend_bound
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig01_frontend_bound(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig01_frontend_bound, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="Fig. 1: frontend-bound fraction (no prefetching)"
+    )
+    write_result(results_dir, "fig01_frontend_bound", table)
+
+    assert len(rows) == 9
+    summary = summarize(rows, "frontend_bound")
+    # every app meaningfully frontend-bound, with a wide spread
+    assert summary["min"] > 0.10
+    assert summary["max"] > 0.30
+    assert summary["max"] / summary["min"] > 1.5
+
+    ranked = sorted(rows, key=lambda r: -r["frontend_bound"])
+    top_three = {row["app"] for row in ranked[:3]}
+    assert top_three & {"wordpress", "drupal", "mediawiki"}

@@ -1,0 +1,42 @@
+"""Fig. 3: AsmDB's coverage/accuracy trade-off vs fan-out threshold.
+
+Paper (wordpress): raising the threshold raises miss coverage, but
+prefetch accuracy starts dropping; even at 99% fan-out AsmDB reaches
+only ~65% of ideal-cache performance.  Shape targets: coverage is
+non-decreasing in the threshold; the accuracy at the highest
+threshold is below the accuracy at the lowest; the 99% point leaves a
+substantial gap to ideal.
+"""
+
+from repro.analysis.experiments import fig03_fanout_tradeoff
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+THRESHOLDS = (0.20, 0.60, 0.90, 0.99)
+
+
+def test_fig03_fanout_tradeoff(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig03_fanout_tradeoff,
+        args=(medium_evaluator,),
+        kwargs={"app": "wordpress", "thresholds": THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows, title="Fig. 3: AsmDB fan-out threshold sweep (wordpress)"
+    )
+    write_result(results_dir, "fig03_fanout_tradeoff", table)
+
+    coverages = [row["miss_coverage"] for row in rows]
+    assert all(b >= a - 0.02 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[-1] > coverages[0]
+
+    # accuracy pressure at high thresholds
+    assert rows[-1]["prefetch_accuracy"] <= rows[0]["prefetch_accuracy"] + 0.02
+
+    # even at 99% fan-out, a real gap to the ideal cache remains
+    assert rows[-1]["percent_of_ideal"] < 0.9
+    # ...but it clearly beats the most conservative threshold
+    assert rows[-1]["percent_of_ideal"] > rows[0]["percent_of_ideal"]

@@ -1,0 +1,48 @@
+"""Fig. 10: headline speedups — I-SPY vs AsmDB vs the ideal cache.
+
+Paper: I-SPY averages 90.4% of the ideal cache's speedup (15.5% mean,
+45.9% max) and outperforms AsmDB by 22.4% on average.  Our substrate
+is a simulator over synthetic workloads, so absolute percentages
+differ; the shape targets are:
+
+* I-SPY > baseline on every application;
+* I-SPY >= AsmDB on at least 8 of 9 applications and on average;
+* I-SPY recovers a substantial fraction of ideal (> 55% mean);
+* nobody beats the ideal cache.
+"""
+
+from repro.analysis.experiments import fig10_speedup, headline_summary
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig10_speedup(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig10_speedup, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(rows, title="Fig. 10: speedup vs ideal and AsmDB")
+    summary = headline_summary(full_evaluator)
+    footer = (
+        f"mean I-SPY speedup +{summary['mean_speedup'] * 100:.1f}% "
+        f"(max +{summary['max_speedup'] * 100:.1f}%), "
+        f"mean %-of-ideal {summary['mean_pct_of_ideal'] * 100:.1f}%, "
+        f"mean improvement over AsmDB "
+        f"{summary['mean_improvement_over_asmdb'] * 100:.1f}%"
+    )
+    write_result(results_dir, "fig10_speedup", table + "\n" + footer)
+
+    assert len(rows) == 9
+    for row in rows:
+        assert row["ispy_speedup"] > 1.0
+        assert row["ideal_speedup"] >= row["ispy_speedup"]
+        assert row["ideal_speedup"] >= row["asmdb_speedup"]
+
+    ispy_wins = sum(
+        1 for row in rows if row["ispy_speedup"] >= row["asmdb_speedup"] - 1e-3
+    )
+    assert ispy_wins >= 8
+
+    pct = summarize(rows, "ispy_pct_of_ideal")
+    assert pct["mean"] > 0.55
+    assert summary["mean_improvement_over_asmdb"] > 0.0

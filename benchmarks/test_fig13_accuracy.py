@@ -1,0 +1,29 @@
+"""Fig. 13: prefetch accuracy.
+
+Paper: I-SPY averages 80.3% accuracy, 8.2% better than AsmDB,
+because conditional execution avoids trading accuracy for coverage.
+Shape targets: I-SPY's accuracy >= AsmDB's on every application and
+strictly better on average.
+"""
+
+from repro.analysis.experiments import fig13_accuracy
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig13_accuracy(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig13_accuracy, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(rows, title="Fig. 13: prefetch accuracy")
+    write_result(results_dir, "fig13_accuracy", table)
+
+    assert len(rows) == 9
+    for row in rows:
+        assert 0.5 < row["ispy_accuracy"] <= 1.0
+        assert row["ispy_accuracy"] >= row["asmdb_accuracy"] - 0.005
+
+    ispy = summarize(rows, "ispy_accuracy")
+    asmdb = summarize(rows, "asmdb_accuracy")
+    assert ispy["mean"] > asmdb["mean"]

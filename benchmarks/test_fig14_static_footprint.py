@@ -1,0 +1,32 @@
+"""Fig. 14: static code-footprint increase.
+
+Paper: coalescing lets I-SPY inject fewer instructions, so its static
+footprint increase (5.1-9.5%) is well below AsmDB's (7.6-15.1%).
+Shape target: I-SPY's injected bytes are below AsmDB's on every
+application (absolute percentages are smaller here because our
+synthetic apps have fewer distinct miss lines per byte of text).
+"""
+
+from repro.analysis.experiments import fig14_static_footprint
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig14_static_footprint(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig14_static_footprint, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="Fig. 14: static footprint increase", precision=5
+    )
+    write_result(results_dir, "fig14_static_footprint", table)
+
+    assert len(rows) == 9
+    for row in rows:
+        assert 0.0 < row["ispy_static_increase"]
+        assert row["ispy_static_increase"] <= row["asmdb_static_increase"]
+
+    ispy = summarize(rows, "ispy_static_increase")
+    asmdb = summarize(rows, "asmdb_static_increase")
+    assert ispy["mean"] < asmdb["mean"]

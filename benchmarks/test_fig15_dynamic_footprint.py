@@ -1,0 +1,35 @@
+"""Fig. 15: dynamic code-footprint increase.
+
+Paper: I-SPY executes 36% fewer prefetch instructions than AsmDB on
+average (3.7-7.2% vs 5.5-11.6% dynamic-instruction increase), with
+verilator the one exception where I-SPY executes more because it
+covers more misses.  Shape targets: I-SPY's dynamic overhead is below
+AsmDB's on at least 8 of 9 apps and substantially lower on average.
+"""
+
+from repro.analysis.experiments import fig15_dynamic_footprint
+from repro.analysis.reporting import render_table, summarize
+
+from .conftest import write_result
+
+
+def test_fig15_dynamic_footprint(benchmark, full_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig15_dynamic_footprint, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="Fig. 15: dynamic footprint increase", precision=4
+    )
+    write_result(results_dir, "fig15_dynamic_footprint", table)
+
+    assert len(rows) == 9
+    wins = sum(
+        1
+        for row in rows
+        if row["ispy_dynamic_increase"] <= row["asmdb_dynamic_increase"]
+    )
+    assert wins >= 8
+
+    ispy = summarize(rows, "ispy_dynamic_increase")
+    asmdb = summarize(rows, "asmdb_dynamic_increase")
+    assert ispy["mean"] < asmdb["mean"] * 0.85  # clearly fewer executed

@@ -1,0 +1,36 @@
+"""Fig. 16: generalization across application inputs.
+
+Paper: profiling on one input, I-SPY keeps at least 70% (up to
+86.8%) of ideal-cache performance on different inputs and stays
+closer to ideal than AsmDB on every (app, input) pair, because
+conditional prefetches adapt to the observed context.  Shape
+targets: I-SPY >= AsmDB on a large majority of drifted pairs, and
+I-SPY's worst drifted case keeps a useful fraction of ideal.
+"""
+
+from repro.analysis.experiments import fig16_generalization
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+
+def test_fig16_generalization(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig16_generalization, args=(medium_evaluator,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, title="Fig. 16: %-of-ideal across five inputs (profile=default)"
+    )
+    write_result(results_dir, "fig16_generalization", table)
+
+    assert len(rows) == 15  # 3 apps x 5 inputs
+    drifted = [row for row in rows if row["input"] != "default"]
+
+    wins = sum(
+        1
+        for row in drifted
+        if row["ispy_pct_of_ideal"] >= row["asmdb_pct_of_ideal"] - 0.01
+    )
+    assert wins >= 10  # of 12
+
+    assert min(row["ispy_pct_of_ideal"] for row in drifted) > 0.40

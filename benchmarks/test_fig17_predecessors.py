@@ -1,0 +1,33 @@
+"""Fig. 17: performance vs the number of context predecessors.
+
+Paper: conditional prefetching improves as more predecessor blocks
+define the context, but discovery cost explodes past 4 (the chosen
+design point reaches >85% of ideal).  Shape targets: performance at 4
+predecessors is at least as good as at 1, and the curve does not
+collapse at larger counts.  (The sweep stops at 8: the combination
+search is exponential, as the paper itself notes.)
+"""
+
+from repro.analysis.experiments import fig17_predecessors
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+
+def test_fig17_predecessors(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig17_predecessors,
+        args=(medium_evaluator,),
+        kwargs={"counts": (1, 2, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows, title="Fig. 17: conditional prefetching vs context size"
+    )
+    write_result(results_dir, "fig17_predecessors", table)
+
+    by_count = {row["predecessors"]: row["mean_pct_of_ideal"] for row in rows}
+    assert by_count[4] >= by_count[1] - 0.02
+    assert by_count[8] >= by_count[1] - 0.02
+    assert all(value > 0.3 for value in by_count.values())

@@ -1,0 +1,49 @@
+"""Fig. 18: minimum / maximum prefetch-distance sensitivity.
+
+Paper: the best minimum distance is 20-30 cycles (above the L2
+latency, below L3); performance keeps improving with the maximum
+distance but plateaus past ~200 cycles.  Shape targets: the paper's
+27-cycle minimum is at least as good as a too-large minimum; a
+too-small maximum is clearly worse than 200; growth from 200 to 800
+is marginal (plateau).
+"""
+
+from repro.analysis.experiments import fig18_distance
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+MINIMA = (5, 27, 108)
+MAXIMA = (54, 200, 800)
+
+
+def test_fig18_distance(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig18_distance,
+        args=(medium_evaluator,),
+        kwargs={"minima": MINIMA, "maxima": MAXIMA},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows, title="Fig. 18: prefetch-distance sensitivity"
+    )
+    write_result(results_dir, "fig18_distance", table)
+
+    minimum = {
+        row["distance"]: row["mean_pct_of_ideal"]
+        for row in rows
+        if row["sweep"] == "min"
+    }
+    maximum = {
+        row["distance"]: row["mean_pct_of_ideal"]
+        for row in rows
+        if row["sweep"] == "max"
+    }
+
+    # the paper's 27-cycle minimum beats an overly large minimum
+    assert minimum[27] >= minimum[108] - 0.01
+    # a cramped maximum loses real performance vs the 200-cycle window
+    assert maximum[200] > maximum[54]
+    # plateau: 4x more window buys almost nothing past 200
+    assert abs(maximum[800] - maximum[200]) < 0.10

@@ -1,0 +1,36 @@
+"""Fig. 19: coalescing bit-vector size sensitivity.
+
+Paper: larger bitmasks coalesce more prefetches and perform slightly
+better, but hardware complexity argues for 8 bits.  Shape targets:
+the plan shrinks monotonically as the vector widens, and performance
+at 8+ bits is at least as good as at 1 bit.
+"""
+
+from repro.analysis.experiments import fig19_coalesce_size
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+BITS = (1, 4, 8, 32)
+
+
+def test_fig19_coalesce_size(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig19_coalesce_size,
+        args=(medium_evaluator,),
+        kwargs={"bits": BITS},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(rows, title="Fig. 19: coalescing size sweep")
+    write_result(results_dir, "fig19_coalesce_size", table)
+
+    by_bits = {row["coalesce_bits"]: row for row in rows}
+    instrs = [by_bits[b]["mean_plan_instructions"] for b in BITS]
+    assert all(b <= a + 1e-9 for a, b in zip(instrs, instrs[1:]))
+    assert instrs[-1] < instrs[0]
+
+    assert (
+        by_bits[8]["mean_pct_of_ideal"]
+        >= by_bits[1]["mean_pct_of_ideal"] - 0.02
+    )

@@ -1,0 +1,45 @@
+"""Fig. 20: which lines coalesced prefetches actually bring in.
+
+Paper: the probability of coalescing a line falls with its distance
+from the base, and most coalesced instructions (82.4% on average)
+bring in fewer than four lines.  Shape targets: the distance
+distribution is concentrated at short distances (1-2 dominate the
+tail of 7-8), and a clear majority of instructions carry < 4 lines.
+"""
+
+from repro.analysis.experiments import fig20_coalesce_profile
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+
+def test_fig20_coalesce_profile(benchmark, full_evaluator, results_dir):
+    profile = benchmark.pedantic(
+        fig20_coalesce_profile, args=(full_evaluator,), rounds=1, iterations=1
+    )
+    rows = [
+        {"line_distance": d, "probability": p}
+        for d, p in profile["distance_distribution"].items()
+    ]
+    rows += [
+        {"lines_per_instr": n, "probability": p}
+        for n, p in profile["lines_per_instruction"].items()
+    ]
+    table = render_table(
+        rows,
+        columns=["line_distance", "lines_per_instr", "probability"],
+        title="Fig. 20: coalesced line distances & lines per instruction",
+    )
+    footer = (
+        f"fraction of coalesced instructions bringing in < 4 lines: "
+        f"{profile['fraction_below_4_lines'] * 100:.1f}%"
+    )
+    write_result(results_dir, "fig20_coalesce_profile", table + "\n" + footer)
+
+    distances = profile["distance_distribution"]
+    assert distances, "no coalescing happened at all"
+    near = distances.get(1, 0.0) + distances.get(2, 0.0)
+    far = distances.get(7, 0.0) + distances.get(8, 0.0)
+    assert near > far
+
+    assert profile["fraction_below_4_lines"] > 0.6

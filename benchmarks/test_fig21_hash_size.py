@@ -1,0 +1,43 @@
+"""Fig. 21: context-hash size vs false positives and static footprint.
+
+Paper (wordpress): widening the context hash reduces the rate at
+which the Bloom-filter subset test fires without the exact context
+present, at the cost of a larger static footprint (16 bits -> ~13%
+false positives, +4.6% text).  Our synthetic LBR windows hold ~28
+distinct blocks (real interpreter-heavy code loops much harder), so
+absolute false-positive rates are higher at every width; the shape —
+monotonically falling FP rate, monotonically rising footprint — is
+the reproduction target.
+"""
+
+from repro.analysis.experiments import fig21_hash_size
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+BITS = (4, 8, 16, 32, 64)
+
+
+def test_fig21_hash_size(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        fig21_hash_size,
+        args=(medium_evaluator,),
+        kwargs={"bits": BITS, "app": "wordpress"},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows, title="Fig. 21: context-hash size (wordpress)", precision=5
+    )
+    write_result(results_dir, "fig21_hash_size", table)
+
+    fp = [row["false_positive_rate"] for row in rows]
+    static = [row["static_increase"] for row in rows]
+
+    # false positives fall as the hash widens (allow tiny noise)
+    assert fp[-1] < fp[0]
+    assert all(b <= a + 0.05 for a, b in zip(fp, fp[1:]))
+
+    # static footprint grows with the hash width
+    assert static[-1] > static[0]
+    assert all(b >= a - 1e-9 for a, b in zip(static, static[1:]))

@@ -1,0 +1,18 @@
+"""Table I: the simulated system."""
+
+from repro.analysis.experiments import table1_system
+from repro.analysis.reporting import render_table
+
+from .conftest import write_result
+
+
+def test_table1_system(benchmark, results_dir):
+    rows = benchmark.pedantic(table1_system, rounds=1, iterations=1)
+    table = render_table(rows, title="Table I: Simulated system")
+    write_result(results_dir, "table1_system", table)
+
+    values = {row["parameter"]: row["value"] for row in rows}
+    assert values["L1 instruction cache"] == "32 KiB, 8-way"
+    assert values["L2 unified cache"] == "1 MB, 16-way"
+    assert values["Memory latency"] == "260 cycles"
+    assert values["All-core turbo"] == "2.5 GHz"

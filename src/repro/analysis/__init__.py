@@ -1,0 +1,30 @@
+"""Evaluation harness: metrics, top-down analysis, experiments.
+
+``metrics``      speedup / MPKI / accuracy / footprint definitions.
+``topdown``      frontend-bound decomposition (Fig. 1).
+``experiments``  one entry point per paper table/figure.
+``reporting``    fixed-width table rendering.
+"""
+
+from . import metrics
+from .experiments import (
+    AppEvaluation,
+    Evaluator,
+    ExperimentSettings,
+    headline_summary,
+)
+from .reporting import render_table, summarize
+from .topdown import TopDownBreakdown, breakdown, frontend_bound_fraction
+
+__all__ = [
+    "AppEvaluation",
+    "Evaluator",
+    "ExperimentSettings",
+    "TopDownBreakdown",
+    "breakdown",
+    "frontend_bound_fraction",
+    "headline_summary",
+    "metrics",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,836 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Each ``figNN_*`` function reproduces the corresponding figure of the
+paper as a list of row dicts (render with
+:func:`repro.analysis.reporting.render_table`).  All of them share an
+:class:`Evaluator`, which caches the expensive artifacts per
+application — the synthesized program, the LBR/PEBS profile, the
+prefetch plans and the simulation runs — so a full harness pass costs
+each simulation once.
+
+Methodology (fixed across all experiments, Section V):
+
+* profile on the app's default input (seeded trace A, seeded data
+  traffic), sample period 1;
+* evaluate on a *different* seeded trace B with different data
+  traffic, 30k-block cache warmup excluded from statistics;
+* the no-prefetch baseline, the ideal cache, AsmDB and every I-SPY
+  variant replay the identical trace B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.asmdb import ASMDB_FANOUT_THRESHOLD, AsmDBResult, build_asmdb_plan
+from ..baselines.contiguous import build_window_plan, simulate_window_prefetcher
+from ..baselines.nextline import simulate_nextline
+from ..core.config import DEFAULT_CONFIG, ISpyConfig
+from ..core.instructions import PrefetchPlan
+from ..core.ispy import ISpyResult, build_ispy_plan
+from ..profiling.profiler import ExecutionProfile, profile_execution
+from ..sim.cpu import CoreSimulator
+from ..sim.stats import SimStats
+from ..sim.trace import BlockTrace
+from ..workloads.apps import APP_NAMES, build_app
+from ..workloads.inputs import INPUT_NAMES, input_mixes
+from ..workloads.synthesis import SyntheticApp
+from . import metrics
+
+#: Apps used for the expensive parameter sweeps (the paper also uses
+#: subsets for its sensitivity studies).
+SWEEP_APPS: Tuple[str, ...] = ("wordpress", "kafka", "verilator")
+
+#: Apps with "the greatest variety of readily-available test inputs"
+#: (paper Fig. 16).
+GENERALIZATION_APPS: Tuple[str, ...] = ("drupal", "mediawiki", "wordpress")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Trace sizes and workload scale shared by an evaluation pass."""
+
+    profile_length: int = 120_000
+    eval_length: int = 150_000
+    warmup: int = 30_000
+    scale: float = 1.0
+
+    @classmethod
+    def small(cls) -> "ExperimentSettings":
+        """A fast preset for test suites (seconds, not minutes)."""
+        return cls(profile_length=24_000, eval_length=30_000, warmup=6_000, scale=0.3)
+
+    @classmethod
+    def medium(cls) -> "ExperimentSettings":
+        """A middle ground for the sweep-style benchmarks."""
+        return cls(profile_length=60_000, eval_length=80_000, warmup=16_000, scale=0.6)
+
+
+class AppEvaluation:
+    """All cached artifacts for one application under one settings."""
+
+    def __init__(self, name: str, settings: ExperimentSettings):
+        self.name = name
+        self.settings = settings
+        self._app: Optional[SyntheticApp] = None
+        self._profile: Optional[ExecutionProfile] = None
+        self._eval_trace: Optional[BlockTrace] = None
+        self._stats: Dict[str, SimStats] = {}
+        self._plans: Dict[str, PrefetchPlan] = {}
+        self._ispy_results: Dict[str, ISpyResult] = {}
+        self._asmdb_results: Dict[float, AsmDBResult] = {}
+
+    # -- lazily built artifacts ------------------------------------------
+
+    @property
+    def app(self) -> SyntheticApp:
+        if self._app is None:
+            self._app = build_app(self.name, scale=self.settings.scale)
+        return self._app
+
+    @property
+    def profile(self) -> ExecutionProfile:
+        if self._profile is None:
+            app = self.app
+            trace = app.trace(self.settings.profile_length)
+            self._profile = profile_execution(
+                app.program, trace, data_traffic=app.data_traffic()
+            )
+        return self._profile
+
+    @property
+    def eval_trace(self) -> BlockTrace:
+        if self._eval_trace is None:
+            app = self.app
+            self._eval_trace = app.trace(
+                self.settings.eval_length,
+                seed=app.spec.seed + 31337,
+                input_name="eval",
+            )
+        return self._eval_trace
+
+    def _eval_data_traffic(self):
+        return self.app.data_traffic(seed=self.app.spec.seed + 777)
+
+    # -- simulation --------------------------------------------------------
+
+    def run_plan(
+        self,
+        plan: Optional[PrefetchPlan],
+        hash_bits: int = 16,
+        track_exact_context: bool = False,
+        trace: Optional[BlockTrace] = None,
+    ) -> SimStats:
+        """Replay the evaluation trace under *plan* (fresh caches)."""
+        core = CoreSimulator(
+            self.app.program,
+            plan=plan,
+            hash_bits=hash_bits,
+            track_exact_context=track_exact_context,
+            data_traffic=self._eval_data_traffic(),
+        )
+        stats = core.run(
+            trace if trace is not None else self.eval_trace,
+            warmup=self.settings.warmup,
+        )
+        # Stash the engine for figures that need run-time context
+        # accounting (Fig. 21 false positives).
+        stats_engine = getattr(core, "engine", None)
+        stats.false_positive_rate = (  # type: ignore[attr-defined]
+            stats_engine.conditional_false_positive_rate if stats_engine else 0.0
+        )
+        return stats
+
+    @property
+    def baseline_stats(self) -> SimStats:
+        if "baseline" not in self._stats:
+            self._stats["baseline"] = self.run_plan(None)
+        return self._stats["baseline"]
+
+    @property
+    def ideal_stats(self) -> SimStats:
+        if "ideal" not in self._stats:
+            core = CoreSimulator(self.app.program, ideal=True)
+            self._stats["ideal"] = core.run(
+                self.eval_trace, warmup=self.settings.warmup
+            )
+        return self._stats["ideal"]
+
+    # -- prefetcher variants ---------------------------------------------------
+
+    def ispy_result(self, config: ISpyConfig = DEFAULT_CONFIG) -> ISpyResult:
+        key = repr(config)
+        if key not in self._ispy_results:
+            self._ispy_results[key] = build_ispy_plan(
+                self.app.program, self.profile, config
+            )
+        return self._ispy_results[key]
+
+    def asmdb_result(
+        self, threshold: float = ASMDB_FANOUT_THRESHOLD
+    ) -> AsmDBResult:
+        if threshold not in self._asmdb_results:
+            self._asmdb_results[threshold] = build_asmdb_plan(
+                self.app.program, self.profile, fanout_threshold=threshold
+            )
+        return self._asmdb_results[threshold]
+
+    def stats_for(self, variant: str) -> SimStats:
+        """Evaluation-trace statistics for a named variant.
+
+        Variants: ``baseline``, ``ideal``, ``asmdb``, ``ispy``,
+        ``ispy-conditional`` (no coalescing), ``ispy-coalescing`` (no
+        conditioning), ``contiguous8``, ``noncontiguous8``,
+        ``nextline``.
+        """
+        if variant == "baseline":
+            return self.baseline_stats
+        if variant == "ideal":
+            return self.ideal_stats
+        if variant in self._stats:
+            return self._stats[variant]
+
+        if variant == "asmdb":
+            stats = self.run_plan(self.asmdb_result().plan)
+        elif variant == "ispy":
+            stats = self.run_plan(self.ispy_result().plan)
+        elif variant == "ispy-conditional":
+            stats = self.run_plan(
+                self.ispy_result(DEFAULT_CONFIG.conditional_only()).plan
+            )
+        elif variant == "ispy-coalescing":
+            stats = self.run_plan(
+                self.ispy_result(DEFAULT_CONFIG.coalescing_only()).plan
+            )
+        elif variant == "contiguous8":
+            stats = simulate_window_prefetcher(
+                self.app.program,
+                self.eval_trace,
+                profile=self.profile,
+                window=8,
+                contiguous=True,
+                data_traffic=self._eval_data_traffic(),
+                warmup=self.settings.warmup,
+            )
+        elif variant == "noncontiguous8":
+            stats = simulate_window_prefetcher(
+                self.app.program,
+                self.eval_trace,
+                profile=self.profile,
+                window=8,
+                contiguous=False,
+                data_traffic=self._eval_data_traffic(),
+                warmup=self.settings.warmup,
+                # the Fig. 5 study filters on *all* profiled misses,
+                # not just the hot lines the planners target
+                config=replace(DEFAULT_CONFIG, min_miss_samples=1),
+            )
+        elif variant == "nextline":
+            stats = simulate_nextline(
+                self.app.program,
+                self.eval_trace,
+                lines_ahead=1,
+                data_traffic=self._eval_data_traffic(),
+                warmup=self.settings.warmup,
+            )
+        else:
+            raise KeyError(f"unknown variant {variant!r}")
+        self._stats[variant] = stats
+        return stats
+
+    def _window_plan(self, contiguous: bool) -> PrefetchPlan:
+        key = f"window-{contiguous}"
+        if key not in self._plans:
+            self._plans[key] = build_window_plan(
+                self.app.program, self.profile, window=8, contiguous=contiguous
+            )
+        return self._plans[key]
+
+    def plan_for(self, variant: str) -> PrefetchPlan:
+        if variant == "asmdb":
+            return self.asmdb_result().plan
+        if variant == "ispy":
+            return self.ispy_result().plan
+        if variant == "ispy-conditional":
+            return self.ispy_result(DEFAULT_CONFIG.conditional_only()).plan
+        if variant == "ispy-coalescing":
+            return self.ispy_result(DEFAULT_CONFIG.coalescing_only()).plan
+        if variant == "contiguous8":
+            return self._window_plan(True)
+        if variant == "noncontiguous8":
+            return self._window_plan(False)
+        raise KeyError(f"no plan for variant {variant!r}")
+
+    # -- metrics shortcuts ----------------------------------------------------
+
+    def speedup(self, variant: str) -> float:
+        return metrics.speedup(self.baseline_stats, self.stats_for(variant))
+
+    def percent_of_ideal(self, variant: str) -> float:
+        return metrics.percent_of_ideal(
+            self.baseline_stats, self.stats_for(variant), self.ideal_stats
+        )
+
+
+class Evaluator:
+    """Cache of :class:`AppEvaluation` objects, one harness pass."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None):
+        self.settings = settings or ExperimentSettings()
+        self._apps: Dict[str, AppEvaluation] = {}
+
+    def __getitem__(self, name: str) -> AppEvaluation:
+        if name not in self._apps:
+            if name not in APP_NAMES:
+                raise KeyError(f"unknown application {name!r}")
+            self._apps[name] = AppEvaluation(name, self.settings)
+        return self._apps[name]
+
+    def apps(self, names: Optional[Sequence[str]] = None) -> List[AppEvaluation]:
+        return [self[name] for name in (names or APP_NAMES)]
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+def table1_system() -> List[Dict[str, object]]:
+    """The simulated system description (paper Table I)."""
+    from ..sim.params import DEFAULT_MACHINE as m
+
+    return [
+        {"parameter": "CPU", "value": "Intel Xeon Haswell (trace-driven model)"},
+        {"parameter": "Cores per socket", "value": m.cores_per_socket},
+        {"parameter": "L1 instruction cache", "value": "32 KiB, 8-way"},
+        {"parameter": "L1 data cache", "value": "32 KiB, 8-way"},
+        {"parameter": "L2 unified cache", "value": "1 MB, 16-way"},
+        {"parameter": "L3 unified cache", "value": "10 MiB/socket, 20-way"},
+        {"parameter": "All-core turbo", "value": f"{m.frequency_ghz} GHz"},
+        {"parameter": "L1 I-cache latency", "value": f"{m.l1i_latency} cycles"},
+        {"parameter": "L1 D-cache latency", "value": f"{m.l1d_latency} cycles"},
+        {"parameter": "L2 latency", "value": f"{m.l2_latency} cycles"},
+        {"parameter": "L3 latency", "value": f"{m.l3_latency} cycles"},
+        {"parameter": "Memory latency", "value": f"{m.memory_latency} cycles"},
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — frontend-bound fractions
+# ---------------------------------------------------------------------------
+
+
+def fig01_frontend_bound(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    """Frontend-bound pipeline-slot fraction per application."""
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        stats = evaluation.baseline_stats
+        rows.append(
+            {
+                "app": evaluation.name,
+                "frontend_bound": stats.frontend_bound_fraction,
+                "l1i_mpki": stats.l1i_mpki,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — AsmDB's coverage/accuracy trade-off vs fan-out threshold
+# ---------------------------------------------------------------------------
+
+
+def fig03_fanout_tradeoff(
+    evaluator: Evaluator,
+    app: str = "wordpress",
+    thresholds: Sequence[float] = (0.20, 0.50, 0.80, 0.90, 0.95, 0.99),
+) -> List[Dict[str, object]]:
+    """Sweep AsmDB's fan-out threshold on one application."""
+    evaluation = evaluator[app]
+    rows = []
+    for threshold in thresholds:
+        result = evaluation.asmdb_result(threshold)
+        stats = evaluation.run_plan(result.plan)
+        rows.append(
+            {
+                "fanout_threshold": threshold,
+                "miss_coverage": metrics.mpki_reduction(
+                    evaluation.baseline_stats, stats
+                ),
+                "prefetch_accuracy": stats.prefetch_accuracy,
+                "percent_of_ideal": metrics.percent_of_ideal(
+                    evaluation.baseline_stats, stats, evaluation.ideal_stats
+                ),
+                "planned_lines_covered": result.report.coverage,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — AsmDB footprint increases
+# ---------------------------------------------------------------------------
+
+
+def fig04_asmdb_footprint(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        plan = evaluation.asmdb_result().plan
+        stats = evaluation.stats_for("asmdb")
+        rows.append(
+            {
+                "app": evaluation.name,
+                "static_increase": plan.static_increase(
+                    evaluation.app.program.text_bytes
+                ),
+                "dynamic_increase": stats.dynamic_overhead,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — Contiguous-8 vs Non-contiguous-8
+# ---------------------------------------------------------------------------
+
+
+def fig05_noncontiguous(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        contiguous = evaluation.speedup("contiguous8")
+        noncontiguous = evaluation.speedup("noncontiguous8")
+        rows.append(
+            {
+                "app": evaluation.name,
+                "contiguous8_speedup": contiguous,
+                "noncontiguous8_speedup": noncontiguous,
+                "noncontiguous_advantage": noncontiguous / contiguous - 1.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — headline speedups
+# ---------------------------------------------------------------------------
+
+
+def fig10_speedup(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        rows.append(
+            {
+                "app": evaluation.name,
+                "ideal_speedup": evaluation.speedup("ideal"),
+                "asmdb_speedup": evaluation.speedup("asmdb"),
+                "ispy_speedup": evaluation.speedup("ispy"),
+                "ispy_pct_of_ideal": evaluation.percent_of_ideal("ispy"),
+                "asmdb_pct_of_ideal": evaluation.percent_of_ideal("asmdb"),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — MPKI reduction
+# ---------------------------------------------------------------------------
+
+
+def fig11_mpki(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        base = evaluation.baseline_stats
+        rows.append(
+            {
+                "app": evaluation.name,
+                "baseline_mpki": base.l1i_mpki,
+                "asmdb_mpki": evaluation.stats_for("asmdb").l1i_mpki,
+                "ispy_mpki": evaluation.stats_for("ispy").l1i_mpki,
+                "asmdb_reduction": metrics.mpki_reduction(
+                    base, evaluation.stats_for("asmdb")
+                ),
+                "ispy_reduction": metrics.mpki_reduction(
+                    base, evaluation.stats_for("ispy")
+                ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — conditional vs coalescing ablation
+# ---------------------------------------------------------------------------
+
+
+def fig12_ablation(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    """Speedup of each I-SPY mechanism (and both) over AsmDB."""
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        asmdb = evaluation.speedup("asmdb")
+        rows.append(
+            {
+                "app": evaluation.name,
+                "conditional_over_asmdb": evaluation.speedup("ispy-conditional")
+                / asmdb
+                - 1.0,
+                "coalescing_over_asmdb": evaluation.speedup("ispy-coalescing")
+                / asmdb
+                - 1.0,
+                "combined_over_asmdb": evaluation.speedup("ispy") / asmdb - 1.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — prefetch accuracy
+# ---------------------------------------------------------------------------
+
+
+def fig13_accuracy(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        rows.append(
+            {
+                "app": evaluation.name,
+                "asmdb_accuracy": evaluation.stats_for("asmdb").prefetch_accuracy,
+                "ispy_accuracy": evaluation.stats_for("ispy").prefetch_accuracy,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 / Fig. 15 — footprints
+# ---------------------------------------------------------------------------
+
+
+def fig14_static_footprint(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        text = evaluation.app.program.text_bytes
+        rows.append(
+            {
+                "app": evaluation.name,
+                "asmdb_static_increase": evaluation.plan_for("asmdb").static_increase(
+                    text
+                ),
+                "ispy_static_increase": evaluation.plan_for("ispy").static_increase(
+                    text
+                ),
+            }
+        )
+    return rows
+
+
+def fig15_dynamic_footprint(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
+    rows = []
+    for evaluation in evaluator.apps(apps):
+        rows.append(
+            {
+                "app": evaluation.name,
+                "asmdb_dynamic_increase": evaluation.stats_for(
+                    "asmdb"
+                ).dynamic_overhead,
+                "ispy_dynamic_increase": evaluation.stats_for(
+                    "ispy"
+                ).dynamic_overhead,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — generalization across inputs
+# ---------------------------------------------------------------------------
+
+
+def fig16_generalization(
+    evaluator: Evaluator,
+    apps: Sequence[str] = GENERALIZATION_APPS,
+    inputs: Sequence[str] = INPUT_NAMES,
+) -> List[Dict[str, object]]:
+    """Profile on the default input, evaluate on five inputs."""
+    rows = []
+    for name in apps:
+        evaluation = evaluator[name]
+        app = evaluation.app
+        mixes = input_mixes(app)
+        ispy_plan = evaluation.ispy_result().plan
+        asmdb_plan = evaluation.asmdb_result().plan
+        for input_name in inputs:
+            trace = app.trace(
+                evaluator.settings.eval_length,
+                seed=app.spec.seed + 50_000 + hash(input_name) % 1000,
+                mix=mixes[input_name],
+                input_name=input_name,
+            )
+            base = evaluation.run_plan(None, trace=trace)
+            core = CoreSimulator(app.program, ideal=True)
+            ideal = core.run(trace, warmup=evaluator.settings.warmup)
+            ispy = evaluation.run_plan(ispy_plan, trace=trace)
+            asmdb = evaluation.run_plan(asmdb_plan, trace=trace)
+            rows.append(
+                {
+                    "app": name,
+                    "input": input_name,
+                    "ispy_pct_of_ideal": metrics.percent_of_ideal(base, ispy, ideal),
+                    "asmdb_pct_of_ideal": metrics.percent_of_ideal(
+                        base, asmdb, ideal
+                    ),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 — number of context predecessors
+# ---------------------------------------------------------------------------
+
+
+def fig17_predecessors(
+    evaluator: Evaluator,
+    counts: Sequence[int] = (1, 2, 4, 8),
+    apps: Sequence[str] = SWEEP_APPS,
+) -> List[Dict[str, object]]:
+    """Conditional-prefetching performance vs context size.
+
+    The paper sweeps 1..32; the combination search is exponential in
+    the predecessor count (the paper reports tens of minutes beyond
+    4), so the default sweep stops at 8.
+    """
+    rows = []
+    for count in counts:
+        config = replace(
+            DEFAULT_CONFIG,
+            max_predecessors=count,
+            predictor_pool_size=max(count, DEFAULT_CONFIG.predictor_pool_size),
+            enable_coalescing=False,
+        )
+        fractions = []
+        for name in apps:
+            evaluation = evaluator[name]
+            stats = evaluation.run_plan(evaluation.ispy_result(config).plan)
+            fractions.append(
+                metrics.percent_of_ideal(
+                    evaluation.baseline_stats, stats, evaluation.ideal_stats
+                )
+            )
+        rows.append(
+            {
+                "predecessors": count,
+                "mean_pct_of_ideal": metrics.arithmetic_mean(fractions),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 18 — prefetch distance sweep
+# ---------------------------------------------------------------------------
+
+
+def fig18_distance(
+    evaluator: Evaluator,
+    minima: Sequence[float] = (5, 13, 27, 54, 108),
+    maxima: Sequence[float] = (54, 100, 200, 400, 800),
+    apps: Sequence[str] = SWEEP_APPS,
+) -> List[Dict[str, object]]:
+    """Sweep the minimum (max fixed) and maximum (min fixed) distance."""
+    rows = []
+    for minimum in minima:
+        config = DEFAULT_CONFIG.with_window(minimum, DEFAULT_CONFIG.max_prefetch_distance)
+        fractions = [
+            evaluator[name].run_plan(evaluator[name].ispy_result(config).plan)
+            for name in apps
+        ]
+        rows.append(
+            {
+                "sweep": "min",
+                "distance": minimum,
+                "mean_pct_of_ideal": metrics.arithmetic_mean(
+                    metrics.percent_of_ideal(
+                        evaluator[name].baseline_stats,
+                        stats,
+                        evaluator[name].ideal_stats,
+                    )
+                    for name, stats in zip(apps, fractions)
+                ),
+            }
+        )
+    for maximum in maxima:
+        config = DEFAULT_CONFIG.with_window(
+            DEFAULT_CONFIG.min_prefetch_distance, maximum
+        )
+        fractions = [
+            evaluator[name].run_plan(evaluator[name].ispy_result(config).plan)
+            for name in apps
+        ]
+        rows.append(
+            {
+                "sweep": "max",
+                "distance": maximum,
+                "mean_pct_of_ideal": metrics.arithmetic_mean(
+                    metrics.percent_of_ideal(
+                        evaluator[name].baseline_stats,
+                        stats,
+                        evaluator[name].ideal_stats,
+                    )
+                    for name, stats in zip(apps, fractions)
+                ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19 — coalescing bitmask size sweep
+# ---------------------------------------------------------------------------
+
+
+def fig19_coalesce_size(
+    evaluator: Evaluator,
+    bits: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    apps: Sequence[str] = SWEEP_APPS,
+) -> List[Dict[str, object]]:
+    rows = []
+    for size in bits:
+        config = replace(DEFAULT_CONFIG, coalesce_bits=size)
+        fractions = []
+        instr_counts = []
+        for name in apps:
+            evaluation = evaluator[name]
+            result = evaluation.ispy_result(config)
+            stats = evaluation.run_plan(result.plan)
+            fractions.append(
+                metrics.percent_of_ideal(
+                    evaluation.baseline_stats, stats, evaluation.ideal_stats
+                )
+            )
+            instr_counts.append(len(result.plan))
+        rows.append(
+            {
+                "coalesce_bits": size,
+                "mean_pct_of_ideal": metrics.arithmetic_mean(fractions),
+                "mean_plan_instructions": metrics.arithmetic_mean(instr_counts),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20 — which lines coalesced prefetches bring in
+# ---------------------------------------------------------------------------
+
+
+def fig20_coalesce_profile(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Aggregate coalescing statistics across applications."""
+    from collections import Counter
+
+    distance_hist: Counter = Counter()
+    lines_hist: Counter = Counter()
+    for evaluation in evaluator.apps(apps):
+        stats = evaluation.ispy_result().report.coalesce_stats
+        distance_hist.update(stats.distance_histogram)
+        lines_hist.update(stats.lines_per_instruction)
+
+    total_distance = sum(distance_hist.values()) or 1
+    total_lines = sum(lines_hist.values()) or 1
+    below4 = sum(c for lines, c in lines_hist.items() if lines < 4)
+    return {
+        "distance_distribution": {
+            d: c / total_distance for d, c in sorted(distance_hist.items())
+        },
+        "lines_per_instruction": {
+            n: c / total_lines for n, c in sorted(lines_hist.items())
+        },
+        "fraction_below_4_lines": below4 / total_lines,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 21 — context-hash size
+# ---------------------------------------------------------------------------
+
+
+def fig21_hash_size(
+    evaluator: Evaluator,
+    bits: Sequence[int] = (4, 8, 16, 32, 64),
+    app: str = "wordpress",
+) -> List[Dict[str, object]]:
+    """False-positive rate and static footprint vs hash width."""
+    evaluation = evaluator[app]
+    text = evaluation.app.program.text_bytes
+    rows = []
+    for size in bits:
+        config = replace(DEFAULT_CONFIG, context_hash_bits=size)
+        result = evaluation.ispy_result(config)
+        stats = evaluation.run_plan(
+            result.plan, hash_bits=size, track_exact_context=True
+        )
+        rows.append(
+            {
+                "hash_bits": size,
+                "false_positive_rate": getattr(stats, "false_positive_rate", 0.0),
+                "static_increase": result.plan.static_increase(text),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Headline summary (abstract numbers)
+# ---------------------------------------------------------------------------
+
+
+def headline_summary(
+    evaluator: Evaluator, apps: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """The abstract's aggregate claims, from our measurements."""
+    speedups = []
+    pct_ideal = []
+    mpki_reductions = []
+    over_asmdb = []
+    for evaluation in evaluator.apps(apps):
+        speedups.append(evaluation.speedup("ispy") - 1.0)
+        pct_ideal.append(evaluation.percent_of_ideal("ispy"))
+        mpki_reductions.append(
+            metrics.mpki_reduction(
+                evaluation.baseline_stats, evaluation.stats_for("ispy")
+            )
+        )
+        over_asmdb.append(
+            metrics.relative_improvement(
+                evaluation.speedup("ispy") - 1.0,
+                evaluation.speedup("asmdb") - 1.0,
+            )
+        )
+    return {
+        "mean_speedup": metrics.arithmetic_mean(speedups),
+        "max_speedup": max(speedups),
+        "mean_pct_of_ideal": metrics.arithmetic_mean(pct_ideal),
+        "mean_mpki_reduction": metrics.arithmetic_mean(mpki_reductions),
+        "max_mpki_reduction": max(mpki_reductions),
+        "mean_improvement_over_asmdb": metrics.arithmetic_mean(over_asmdb),
+    }

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment returns rows as a list of dicts; this module turns
+them into the fixed-width tables the bench targets print, so harness
+output is uniform and diffable (EXPERIMENTS.md records these tables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Column order defaults to the first row's key order; missing cells
+    render as ``-``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    rendered: List[List[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        rendered.append(
+            [
+                format_cell(row[col], precision) if col in row else "-"
+                for col in columns
+            ]
+        )
+    widths = [
+        max(len(line[index]) for line in rendered)
+        for index in range(len(columns))
+    ]
+
+    def fmt_line(cells: List[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(rendered[0]))
+    lines.append(separator)
+    lines.extend(fmt_line(line) for line in rendered[1:])
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"
+
+
+def summarize(rows: Sequence[Mapping[str, Cell]], column: str) -> Dict[str, float]:
+    """Mean/min/max of a numeric column (for 'average of X%' claims)."""
+    values = [float(row[column]) for row in rows if column in row]
+    if not values:
+        raise ValueError(f"no values in column {column!r}")
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,55 @@
+"""Top-down frontend-bound accounting (paper Fig. 1).
+
+The paper measures "the fraction of pipeline slots spent waiting for
+I-cache misses to return" with Yasin's Top-down methodology.  In our
+trace-driven model the equivalent quantity is exact: the frontend
+stall cycles over total cycles, with an optional per-miss-level
+decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..sim.stats import SimStats
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Pipeline-slot decomposition of one run."""
+
+    frontend_bound: float     # stalled on instruction fetch
+    retiring: float           # doing useful work
+    stall_cycles_by_level: Dict[str, float]
+
+    def dominant_miss_level(self) -> str:
+        if not self.stall_cycles_by_level:
+            return "none"
+        return max(self.stall_cycles_by_level, key=self.stall_cycles_by_level.get)
+
+
+def frontend_bound_fraction(stats: SimStats) -> float:
+    """Fig. 1's headline quantity for one application run."""
+    return stats.frontend_bound_fraction
+
+
+def breakdown(stats: SimStats, miss_penalties: Dict[str, int]) -> TopDownBreakdown:
+    """Full top-down decomposition.
+
+    ``miss_penalties`` maps hit levels to their penalty cycles (from
+    :class:`~repro.sim.params.MachineParams`), letting the total stall
+    be attributed back to the level that served each miss.
+    """
+    total = stats.cycles
+    if total <= 0:
+        return TopDownBreakdown(0.0, 0.0, {})
+    by_level = {
+        level: count * miss_penalties.get(level, 0)
+        for level, count in stats.miss_level_counts.items()
+    }
+    return TopDownBreakdown(
+        frontend_bound=stats.frontend_stall_cycles / total,
+        retiring=stats.compute_cycles / total,
+        stall_cycles_by_level=by_level,
+    )

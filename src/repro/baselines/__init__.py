@@ -1,0 +1,33 @@
+"""Baseline prefetchers I-SPY is evaluated against.
+
+``asmdb``       the state-of-the-art profile-guided prefetcher.
+``contiguous``  Contiguous-n / Non-contiguous-n limit study (Fig. 5).
+``nextline``    hardware next-N-line prefetching.
+``fdip``        fetch-directed (branch-predictor-run-ahead) prefetching.
+``ideal``       the no-miss upper bound.
+"""
+
+from .asmdb import ASMDB_FANOUT_THRESHOLD, AsmDBResult, build_asmdb_plan
+from .contiguous import (
+    build_contiguous_plan,
+    build_noncontiguous_plan,
+    build_window_plan,
+    simulate_window_prefetcher,
+)
+from .fdip import BimodalBTB, simulate_fdip
+from .ideal import simulate_ideal
+from .nextline import simulate_nextline
+
+__all__ = [
+    "ASMDB_FANOUT_THRESHOLD",
+    "AsmDBResult",
+    "BimodalBTB",
+    "build_asmdb_plan",
+    "build_contiguous_plan",
+    "build_noncontiguous_plan",
+    "build_window_plan",
+    "simulate_window_prefetcher",
+    "simulate_fdip",
+    "simulate_ideal",
+    "simulate_nextline",
+]

@@ -1,0 +1,211 @@
+"""Fetch-Directed Instruction Prefetching (FDIP) baseline.
+
+Reinman, Calder and Austin's FDIP (MICRO'99) is the classic
+branch-predictor-directed scheme the paper's related work discusses:
+a decoupled frontend lets the branch predictor run *ahead* of fetch,
+and the lines of predicted-future blocks are prefetched into the L1I.
+
+Our model keeps the essential mechanics:
+
+* a :class:`BimodalBTB` — per-block predicted successor with 2-bit
+  hysteresis, trained online by the actual control flow (mimicking a
+  BTB + bimodal direction predictor);
+* a fetch-target queue of ``runahead`` predicted blocks, extended
+  incrementally while predictions hold and re-filled from scratch on
+  a mispredict (the "insufficient lookahead on loop branches /
+  wrong-path interference" failure mode the paper cites);
+* prefetches issued through the shared fill port, so wrong-path
+  prefetches cost bandwidth exactly like any other inaccuracy.
+
+FDIP needs no profile, but on branchy data-center code its lookahead
+collapses at every mispredict — which is precisely why the paper
+pursues profile-guided injection instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.params import MachineParams
+from ..sim.stats import SimStats
+from ..sim.trace import BlockTrace, Program
+
+
+class BimodalBTB:
+    """Capacity-limited per-block next-block predictor.
+
+    Stores, per source block, a predicted successor and a 2-bit
+    confidence counter: correct predictions strengthen, mispredicts
+    weaken and eventually replace the target (classic BTB + bimodal
+    behaviour at basic-block granularity).
+
+    ``capacity`` bounds the number of tracked blocks with LRU
+    replacement.  This is the crux of the paper's Section VIII
+    critique of hardware-only schemes: data-center instruction
+    footprints have orders of magnitude more branches than any
+    realistic BTB holds, so the run-ahead path constantly falls off
+    trained ground.  (Pass ``capacity=None`` for the unbounded
+    idealization.)
+    """
+
+    __slots__ = ("capacity", "_targets", "_confidence")
+
+    #: roughly a modern server-class BTB (Skylake-era ~4K entries)
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.capacity = capacity
+        from collections import OrderedDict
+
+        self._targets: "OrderedDict[int, int]" = OrderedDict()
+        self._confidence: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def predict(self, block_id: int) -> Optional[int]:
+        """Predicted successor of *block_id*, or None if untrained."""
+        target = self._targets.get(block_id)
+        if target is not None:
+            self._targets.move_to_end(block_id)
+        return target
+
+    def train(self, block_id: int, actual_next: int) -> bool:
+        """Update with the observed transfer; returns True if the
+        prediction (if any) was correct."""
+        predicted = self._targets.get(block_id)
+        if predicted is None:
+            if self.capacity is not None and len(self._targets) >= self.capacity:
+                evicted, _ = self._targets.popitem(last=False)
+                self._confidence.pop(evicted, None)
+            self._targets[block_id] = actual_next
+            self._confidence[block_id] = 1
+            return False
+        self._targets.move_to_end(block_id)
+        if predicted == actual_next:
+            confidence = self._confidence[block_id]
+            if confidence < 3:
+                self._confidence[block_id] = confidence + 1
+            return True
+        confidence = self._confidence[block_id] - 1
+        if confidence <= 0:
+            self._targets[block_id] = actual_next
+            self._confidence[block_id] = 1
+        else:
+            self._confidence[block_id] = confidence
+        return False
+
+
+def simulate_fdip(
+    program: Program,
+    trace: BlockTrace,
+    runahead: int = 16,
+    machine: Optional[MachineParams] = None,
+    data_traffic=None,
+    warmup: int = 0,
+    btb_capacity: Optional[int] = BimodalBTB.DEFAULT_CAPACITY,
+) -> SimStats:
+    """Replay *trace* with an FDIP-style decoupled frontend.
+
+    ``runahead`` is the fetch-target-queue depth in basic blocks;
+    ``btb_capacity`` bounds the predictor's storage (None = unbounded).
+    """
+    if runahead < 1:
+        raise ValueError("runahead must be at least one block")
+    machine = machine or MachineParams()
+    hierarchy = MemoryHierarchy(machine)
+    stats = SimStats()
+    predictor = BimodalBTB(capacity=btb_capacity)
+    cpi = 1.0 / machine.base_ipc
+
+    lines_of = {block.block_id: block.lines for block in program}
+    instr_counts = {block.block_id: block.instruction_count for block in program}
+    inflight: Dict[int, float] = {}
+
+    #: predicted future blocks, nearest first
+    target_queue: List[int] = []
+
+    def issue_block_prefetch(block_id: int, now: float) -> None:
+        for line in lines_of[block_id]:
+            if line in inflight or hierarchy.l1i.contains(line):
+                continue
+            level = hierarchy.residence_level(line)
+            hierarchy.prefetch_fill(line)
+            stats.prefetches_issued += 1
+            arrival = hierarchy.fill_port.request(now, level)
+            if arrival > now:
+                inflight[line] = arrival
+
+    def refill_queue(from_block: int, now: float) -> None:
+        target_queue.clear()
+        cursor = from_block
+        for _ in range(runahead):
+            predicted = predictor.predict(cursor)
+            if predicted is None:
+                break
+            target_queue.append(predicted)
+            issue_block_prefetch(predicted, now)
+            cursor = predicted
+
+    def extend_queue(now: float) -> None:
+        cursor = target_queue[-1] if target_queue else None
+        if cursor is None:
+            return
+        predicted = predictor.predict(cursor)
+        if predicted is not None and len(target_queue) < runahead:
+            target_queue.append(predicted)
+            issue_block_prefetch(predicted, now)
+
+    now = 0.0
+    program_instructions = 0
+    previous: Optional[int] = None
+    for index, block_id in enumerate(trace):
+        if index == warmup and warmup > 0:
+            stats.clear()
+            hierarchy.l1i.stats.reset()
+            program_instructions = 0
+
+        # frontend steering: did the runahead path survive?
+        if previous is not None:
+            predictor.train(previous, block_id)
+        if target_queue and target_queue[0] == block_id:
+            target_queue.pop(0)
+            extend_queue(now)
+        else:
+            # mispredict (or cold): restart the runahead from here
+            refill_queue(block_id, now)
+
+        stall = 0.0
+        for line in lines_of[block_id]:
+            stats.l1i_accesses += 1
+            arrival = inflight.pop(line, None)
+            if arrival is not None and arrival > now + stall:
+                stall += arrival - (now + stall)
+                stats.late_prefetch_hits += 1
+                hierarchy.l1i.access(line)
+                continue
+            result = hierarchy.fetch(line)
+            if result.was_l1_miss:
+                stats.l1i_misses += 1
+                stats.record_miss_level(result.level)
+                completion = hierarchy.fill_port.request(
+                    now + stall, result.level
+                )
+                stall = completion - now
+        if stall:
+            stats.frontend_stall_cycles += stall
+            now += stall
+        count = instr_counts[block_id]
+        program_instructions += count
+        now += count * cpi
+        if data_traffic is not None:
+            data_traffic.advance(count, hierarchy)
+        previous = block_id
+
+    stats.program_instructions = program_instructions
+    stats.compute_cycles = program_instructions * cpi
+    stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
+    return stats

@@ -1,0 +1,24 @@
+"""The ideal-cache upper bound (paper Section II).
+
+"We define an ideal prefetcher as one that achieves the performance
+of an I-cache with no misses, i.e., where every access hits in the L1
+I-cache (a theoretical upper bound)."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.cpu import simulate
+from ..sim.params import MachineParams
+from ..sim.stats import SimStats
+from ..sim.trace import BlockTrace, Program
+
+
+def simulate_ideal(
+    program: Program,
+    trace: BlockTrace,
+    machine: Optional[MachineParams] = None,
+) -> SimStats:
+    """Replay *trace* with a perfect I-cache (every fetch hits)."""
+    return simulate(program, trace, machine=machine, ideal=True)

@@ -1,0 +1,29 @@
+"""Dynamic control-flow graph substrate (paper Fig. 2).
+
+``graph``    weighted, miss-annotated dynamic CFG.
+``builder``  CFG reconstruction from profiles.
+``fanout``   injection-site fan-out & prefetch-window analysis.
+``render``   Graphviz/DOT export of miss-annotated CFGs.
+"""
+
+from .builder import build_dynamic_cfg
+from .fanout import (
+    OccurrenceLabels,
+    dynamic_fanout,
+    label_occurrences,
+    sites_in_window,
+)
+from .graph import CFGNode, DynamicCFG
+from .render import to_dot, write_dot
+
+__all__ = [
+    "CFGNode",
+    "DynamicCFG",
+    "OccurrenceLabels",
+    "build_dynamic_cfg",
+    "dynamic_fanout",
+    "label_occurrences",
+    "sites_in_window",
+    "to_dot",
+    "write_dot",
+]

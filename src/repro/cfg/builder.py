@@ -1,0 +1,23 @@
+"""Dynamic-CFG construction from LBR/PEBS profiles (Fig. 9, step 2)."""
+
+from __future__ import annotations
+
+from ..profiling.profiler import ExecutionProfile
+from .graph import DynamicCFG
+
+
+def build_dynamic_cfg(profile: ExecutionProfile) -> DynamicCFG:
+    """Reconstruct the miss-annotated dynamic CFG from a profile.
+
+    Edge and node weights come from the LBR stream; miss annotations
+    come from the PEBS samples.  The result is exactly the paper's
+    Fig. 2 artifact for this execution.
+    """
+    cfg = DynamicCFG()
+    for block_id, count in profile.block_counts.items():
+        cfg.add_execution(block_id, count)
+    for (src, dst), count in profile.edge_counts.items():
+        cfg.add_edge(src, dst, count)
+    for sample in profile.miss_samples:
+        cfg.add_miss(sample.block_id, sample.line)
+    return cfg

@@ -1,0 +1,123 @@
+"""Miss-annotated dynamic control-flow graphs (paper Fig. 2).
+
+Nodes are basic blocks weighted by execution count; edges are
+branches weighted by traversal count; nodes additionally carry the
+sampled I-cache miss counts observed when fetching them.  This is the
+artifact the paper's offline analysis consumes, reconstructed from
+the LBR/PEBS profile.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+
+@dataclass
+class CFGNode:
+    """One basic block in the dynamic CFG."""
+
+    block_id: int
+    execution_count: int = 0
+    miss_count: int = 0
+    #: sampled misses per cache line fetched by this block
+    miss_lines: Counter = field(default_factory=Counter)
+
+
+class DynamicCFG:
+    """Weighted dynamic CFG with miss annotations."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, CFGNode] = {}
+        self._successors: Dict[int, Counter] = {}
+        self._predecessors: Dict[int, Counter] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def ensure_node(self, block_id: int) -> CFGNode:
+        node = self._nodes.get(block_id)
+        if node is None:
+            node = CFGNode(block_id)
+            self._nodes[block_id] = node
+        return node
+
+    def add_execution(self, block_id: int, count: int = 1) -> None:
+        self.ensure_node(block_id).execution_count += count
+
+    def add_edge(self, src: int, dst: int, count: int = 1) -> None:
+        self.ensure_node(src)
+        self.ensure_node(dst)
+        self._successors.setdefault(src, Counter())[dst] += count
+        self._predecessors.setdefault(dst, Counter())[src] += count
+
+    def add_miss(self, block_id: int, line: int, count: int = 1) -> None:
+        node = self.ensure_node(block_id)
+        node.miss_count += count
+        node.miss_lines[line] += count
+
+    # -- queries --------------------------------------------------------------
+
+    def node(self, block_id: int) -> CFGNode:
+        return self._nodes[block_id]
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterable[CFGNode]:
+        return self._nodes.values()
+
+    def successors(self, block_id: int) -> Mapping[int, int]:
+        return self._successors.get(block_id, Counter())
+
+    def predecessors(self, block_id: int) -> Mapping[int, int]:
+        return self._predecessors.get(block_id, Counter())
+
+    def edge_count(self, src: int, dst: int) -> int:
+        return self._successors.get(src, Counter()).get(dst, 0)
+
+    def total_edge_weight(self) -> int:
+        return sum(sum(c.values()) for c in self._successors.values())
+
+    def miss_blocks(self) -> List[CFGNode]:
+        """Nodes with at least one sampled miss, heaviest first."""
+        annotated = [n for n in self._nodes.values() if n.miss_count]
+        return sorted(annotated, key=lambda n: -n.miss_count)
+
+    # -- graph algorithms --------------------------------------------------------
+
+    def reachable_from(self, block_id: int, max_hops: Optional[int] = None) -> Set[int]:
+        """Blocks reachable from *block_id* along observed edges."""
+        seen: Set[int] = {block_id}
+        frontier = [block_id]
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            next_frontier: List[int] = []
+            for node in frontier:
+                for succ in self._successors.get(node, ()):
+                    if succ not in seen:
+                        seen.add(succ)
+                        next_frontier.append(succ)
+            frontier = next_frontier
+            hops += 1
+        seen.discard(block_id)
+        return seen
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (edge attr ``weight``)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self._nodes.values():
+            graph.add_node(
+                node.block_id,
+                executions=node.execution_count,
+                misses=node.miss_count,
+            )
+        for src, targets in self._successors.items():
+            for dst, weight in targets.items():
+                graph.add_edge(src, dst, weight=weight)
+        return graph

@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``apps``        list the nine applications and their footprints.
+``profile``     profile one application and summarize its misses.
+``plan``        build an I-SPY (or AsmDB) plan and describe it.
+``evaluate``    run baseline / ideal / AsmDB / I-SPY on one app.
+``figure``      regenerate one paper figure table (e.g. ``fig10``).
+``headline``    the abstract's aggregate numbers over all nine apps.
+
+Examples
+--------
+::
+
+    python -m repro apps
+    python -m repro evaluate wordpress --scale 0.5
+    python -m repro figure fig11 --scale 0.6
+    python -m repro plan kafka --prefetcher asmdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments as exp
+from .analysis.reporting import percent, render_table
+from .workloads.apps import APP_NAMES
+
+#: figure name -> experiments function (single-table figures only)
+FIGURES = {
+    "table1": exp.table1_system,
+    "fig01": exp.fig01_frontend_bound,
+    "fig03": exp.fig03_fanout_tradeoff,
+    "fig04": exp.fig04_asmdb_footprint,
+    "fig05": exp.fig05_noncontiguous,
+    "fig10": exp.fig10_speedup,
+    "fig11": exp.fig11_mpki,
+    "fig12": exp.fig12_ablation,
+    "fig13": exp.fig13_accuracy,
+    "fig14": exp.fig14_static_footprint,
+    "fig15": exp.fig15_dynamic_footprint,
+    "fig16": exp.fig16_generalization,
+    "fig17": exp.fig17_predecessors,
+    "fig18": exp.fig18_distance,
+    "fig19": exp.fig19_coalesce_size,
+    "fig21": exp.fig21_hash_size,
+}
+
+
+def _settings(args: argparse.Namespace) -> exp.ExperimentSettings:
+    return exp.ExperimentSettings(
+        profile_length=args.profile_blocks,
+        eval_length=args.eval_blocks,
+        warmup=args.warmup,
+        scale=args.scale,
+    )
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.6,
+        help="workload scale factor (1.0 = benchmark size)",
+    )
+    parser.add_argument("--profile-blocks", type=int, default=60_000)
+    parser.add_argument("--eval-blocks", type=int, default=80_000)
+    parser.add_argument("--warmup", type=int, default=16_000)
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    from .workloads.apps import build_app
+
+    rows = []
+    for name in APP_NAMES:
+        app = build_app(name, scale=args.scale)
+        rows.append(
+            {
+                "app": name,
+                "blocks": len(app.program),
+                "text_kib": app.program.text_bytes // 1024,
+                "request_types": app.spec.request_types,
+                "layers": len(app.spec.functions_per_layer),
+            }
+        )
+    print(render_table(rows, title=f"applications (scale={args.scale})"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    evaluator = exp.Evaluator(_settings(args))
+    evaluation = evaluator[args.app]
+    profile = evaluation.profile
+    counts = profile.miss_counts_by_line()
+    print(
+        f"{args.app}: {len(profile)} block executions profiled, "
+        f"{profile.sampled_miss_count} sampled L1I misses on "
+        f"{len(counts)} distinct lines"
+    )
+    stats = profile.baseline_stats
+    if stats is not None:
+        print(
+            f"baseline: {stats.l1i_mpki:.2f} MPKI, "
+            f"{percent(stats.frontend_bound_fraction)} frontend-bound, "
+            f"IPC {stats.ipc:.2f}"
+        )
+    top = counts.most_common(10)
+    rows = [{"line": line, "sampled_misses": count} for line, count in top]
+    print(render_table(rows, title="hottest miss lines"))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    evaluator = exp.Evaluator(_settings(args))
+    evaluation = evaluator[args.app]
+    if args.prefetcher == "asmdb":
+        plan = evaluation.asmdb_result().plan
+    else:
+        plan = evaluation.ispy_result().plan
+    text = evaluation.app.program.text_bytes
+    print(f"{args.prefetcher} plan for {args.app}:")
+    print(f"  instructions: {len(plan)}")
+    for kind, count in sorted(plan.kind_counts().items()):
+        print(f"    {kind:11s} {count}")
+    print(f"  injected bytes: {plan.static_bytes}")
+    print(f"  static increase: {percent(plan.static_increase(text))}")
+    print(f"  distinct sites: {len(plan.sites())}")
+    print(f"  lines covered: {len(plan.covered_lines())}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    evaluator = exp.Evaluator(_settings(args))
+    evaluation = evaluator[args.app]
+    rows = []
+    for variant in ("baseline", "ideal", "asmdb", "ispy"):
+        stats = evaluation.stats_for(variant)
+        row = {
+            "variant": variant,
+            "cycles": int(stats.cycles),
+            "mpki": stats.l1i_mpki,
+            "accuracy": stats.prefetch_accuracy,
+        }
+        if variant not in ("baseline",):
+            row["speedup"] = evaluation.speedup(variant)
+        if variant in ("asmdb", "ispy"):
+            row["pct_of_ideal"] = evaluation.percent_of_ideal(variant)
+        rows.append(row)
+    print(
+        render_table(
+            rows,
+            columns=[
+                "variant", "cycles", "mpki", "speedup",
+                "pct_of_ideal", "accuracy",
+            ],
+            title=f"{args.app} (scale={args.scale})",
+        )
+    )
+
+    # where I-SPY's remaining gap to the ideal cache goes
+    from .analysis.metrics import gap_attribution
+
+    attribution = gap_attribution(
+        evaluation.stats_for("ispy"), evaluation.ideal_stats
+    )
+    if attribution["gap_cycles"] > 0:
+        print("\nI-SPY gap to ideal, by loss channel:")
+        for channel in (
+            "residual_miss_stall",
+            "late_prefetch_stall",
+            "instruction_overhead",
+        ):
+            fraction = attribution.get(f"{channel}_fraction", 0.0)
+            print(
+                f"  {channel:21s} {attribution[channel]:12.0f} cycles "
+                f"({percent(fraction)})"
+            )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    function = FIGURES.get(args.name)
+    if function is None:
+        print(
+            f"unknown figure {args.name!r}; choose from: "
+            f"{', '.join(sorted(FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.name == "table1":
+        print(render_table(function(), title="Table I"))
+        return 0
+    evaluator = exp.Evaluator(_settings(args))
+    rows = function(evaluator)
+    print(render_table(rows, title=args.name, precision=4))
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    evaluator = exp.Evaluator(_settings(args))
+    summary = exp.headline_summary(evaluator)
+    print(f"mean I-SPY speedup:      +{summary['mean_speedup'] * 100:.1f}%")
+    print(f"max I-SPY speedup:       +{summary['max_speedup'] * 100:.1f}%")
+    print(f"mean %-of-ideal:         {percent(summary['mean_pct_of_ideal'])}")
+    print(f"mean MPKI reduction:     {percent(summary['mean_mpki_reduction'])}")
+    print(f"max MPKI reduction:      {percent(summary['max_mpki_reduction'])}")
+    print(
+        "mean improvement vs AsmDB: "
+        f"{percent(summary['mean_improvement_over_asmdb'])}"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    evaluator = exp.Evaluator(_settings(args))
+    target = write_report(
+        args.output, evaluator, include_sweeps=not args.no_sweeps
+    )
+    print(f"report written to {target}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="I-SPY reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_apps = commands.add_parser("apps", help="list the applications")
+    p_apps.add_argument("--scale", type=float, default=0.3)
+    p_apps.set_defaults(func=cmd_apps)
+
+    p_profile = commands.add_parser("profile", help="profile one application")
+    p_profile.add_argument("app", choices=APP_NAMES)
+    _add_scale_options(p_profile)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_plan = commands.add_parser("plan", help="build and describe a plan")
+    p_plan.add_argument("app", choices=APP_NAMES)
+    p_plan.add_argument(
+        "--prefetcher", choices=("ispy", "asmdb"), default="ispy"
+    )
+    _add_scale_options(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_eval = commands.add_parser("evaluate", help="evaluate one application")
+    p_eval.add_argument("app", choices=APP_NAMES)
+    _add_scale_options(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_figure = commands.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("name", help="e.g. fig10, fig21, table1")
+    _add_scale_options(p_figure)
+    p_figure.set_defaults(func=cmd_figure)
+
+    p_report = commands.add_parser(
+        "report", help="generate a full markdown evaluation report"
+    )
+    p_report.add_argument("-o", "--output", default="report.md")
+    p_report.add_argument(
+        "--no-sweeps", action="store_true",
+        help="skip the slow sensitivity sweeps",
+    )
+    _add_scale_options(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_headline = commands.add_parser(
+        "headline", help="abstract-level aggregate numbers"
+    )
+    _add_scale_options(p_headline)
+    p_headline.set_defaults(func=cmd_headline)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

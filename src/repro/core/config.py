@@ -1,0 +1,90 @@
+"""I-SPY configuration (the paper's final design points + knobs).
+
+Defaults follow Section V/VI: prefetch window of 27–200 cycles
+(Fig. 18), four context predecessors (Fig. 17), a 16-bit context hash
+(Fig. 21), and an 8-bit coalescing bit-vector (Fig. 19).  Every
+sensitivity study in the benchmark harness sweeps exactly one of
+these fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ISpyConfig:
+    """Tunable parameters of the offline analysis + hardware model."""
+
+    #: timeliness window, in cycles before the miss (Fig. 18)
+    min_prefetch_distance: float = 27.0
+    max_prefetch_distance: float = 200.0
+
+    #: maximum predictor basic blocks per context (Fig. 17)
+    max_predecessors: int = 4
+    #: candidate predictor blocks considered before combination search
+    predictor_pool_size: int = 8
+
+    #: context-hash width in bits (Fig. 21)
+    context_hash_bits: int = 16
+    #: coalescing bit-vector width in bits (Fig. 19)
+    coalesce_bits: int = 8
+    #: LBR depth used for profiling and the runtime-hash
+    lbr_depth: int = 32
+
+    #: ignore miss lines sampled fewer times than this (noise floor)
+    min_miss_samples: int = 3
+    #: minimum site executions matching a context for it to be trusted
+    min_context_support: int = 5
+    #: a site with fan-out at or below this injects unconditionally —
+    #: the prefetch is almost always useful anyway
+    conditional_fanout_threshold: float = 0.10
+    #: contexts must beat the site's base miss rate by this margin,
+    #: otherwise conditioning adds hardware work for no accuracy
+    min_context_gain: float = 0.10
+    #: required P(miss | context) for a context to be adopted
+    min_context_probability: float = 0.35
+    #: required fraction of miss-leading executions the context must
+    #: still match (so conditioning does not sacrifice coverage)
+    min_context_recall: float = 0.9
+    #: site executions examined during context discovery (sampled
+    #: uniformly beyond this, for tractability — Section VI-B notes
+    #: context discovery cost grows fast)
+    context_discovery_occurrences: int = 3000
+
+    #: feature flags for the Fig. 12 ablation
+    enable_conditional: bool = True
+    enable_coalescing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_prefetch_distance < 0:
+            raise ValueError("min_prefetch_distance must be non-negative")
+        if self.max_prefetch_distance <= self.min_prefetch_distance:
+            raise ValueError("prefetch window must be non-empty")
+        if self.max_predecessors < 1:
+            raise ValueError("need at least one context predecessor")
+        if self.predictor_pool_size < self.max_predecessors:
+            raise ValueError("predictor pool smaller than max_predecessors")
+        if self.context_hash_bits < 1 or self.coalesce_bits < 1:
+            raise ValueError("hash/vector widths must be positive")
+        if not 0.0 <= self.conditional_fanout_threshold <= 1.0:
+            raise ValueError("conditional_fanout_threshold must be in [0,1]")
+
+    # -- variants ----------------------------------------------------------
+
+    def conditional_only(self) -> "ISpyConfig":
+        """I-SPY with coalescing disabled (Fig. 12 ablation arm)."""
+        return replace(self, enable_coalescing=False)
+
+    def coalescing_only(self) -> "ISpyConfig":
+        """I-SPY with conditional prefetching disabled (Fig. 12)."""
+        return replace(self, enable_conditional=False)
+
+    def with_window(self, minimum: float, maximum: float) -> "ISpyConfig":
+        return replace(
+            self, min_prefetch_distance=minimum, max_prefetch_distance=maximum
+        )
+
+
+#: The paper's final design point.
+DEFAULT_CONFIG = ISpyConfig()

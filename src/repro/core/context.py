@@ -1,0 +1,181 @@
+"""Miss-context discovery (paper Section III-A, Fig. 6).
+
+Given an injection site with non-zero fan-out, find the combination
+of *predictor basic blocks* whose presence in the LBR history best
+predicts that this execution of the site leads to the target miss.
+
+Following the paper:
+
+* only the *presence* of blocks in the recent history matters, not
+  their order (the exact-sequence formulation is intractable — the
+  number of paths grows exponentially);
+* predictor blocks are the blocks most frequent in miss-leading
+  histories;
+* combinations of up to ``max_predecessors`` predictors are scored by
+  the conditional probability P(miss | context present), estimated
+  from the profile per Bayes;
+* the winning combination is encoded into the Cprefetch context-hash.
+
+The combination search uses per-block occurrence bitsets (Python
+bigints), so scoring a combination is two ANDs and two popcounts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfg.fanout import OccurrenceLabels, label_occurrences
+from ..profiling.profiler import ExecutionProfile
+from .config import ISpyConfig
+
+
+@dataclass(frozen=True)
+class ContextResult:
+    """The chosen context for one (site, miss line) pair."""
+
+    blocks: Tuple[int, ...]
+    #: P(miss | context present), estimated from the profile
+    probability: float
+    #: executions of the site matching the context
+    support: int
+    #: fraction of miss-leading executions the context matches
+    recall: float
+    #: the site's unconditioned P(miss) — what AsmDB would get
+    base_probability: float
+
+    @property
+    def gain(self) -> float:
+        return self.probability - self.base_probability
+
+
+def _bit_count(value: int) -> int:
+    return bin(value).count("1")
+
+
+def _predictor_pool(
+    profile: ExecutionProfile,
+    labels: OccurrenceLabels,
+    config: ISpyConfig,
+) -> Tuple[List[int], List[int], int]:
+    """Score candidate predictor blocks and build occurrence bitsets.
+
+    Returns (pool_blocks, pool_masks, positive_mask) where bit *i* of
+    a mask corresponds to the i-th labelled occurrence.
+    """
+    depth = config.lbr_depth
+    histories: List[frozenset] = [
+        frozenset(profile.window(index, depth)) for index in labels.indices
+    ]
+
+    positive_freq: Dict[int, int] = {}
+    negative_freq: Dict[int, int] = {}
+    n_pos = 0
+    for history, positive in zip(histories, labels.leads_to_miss):
+        table = positive_freq if positive else negative_freq
+        if positive:
+            n_pos += 1
+        for block in history:
+            table[block] = table.get(block, 0) + 1
+
+    n_neg = labels.total - n_pos
+    if n_pos == 0:
+        return [], [], 0
+
+    def score(block: int) -> float:
+        p_pos = positive_freq.get(block, 0) / n_pos
+        p_neg = negative_freq.get(block, 0) / n_neg if n_neg else 0.0
+        return p_pos - p_neg
+
+    ranked = sorted(positive_freq, key=score, reverse=True)
+    pool = [b for b in ranked if b != labels.site][: config.predictor_pool_size]
+
+    masks: List[int] = []
+    for block in pool:
+        mask = 0
+        for position, history in enumerate(histories):
+            if block in history:
+                mask |= 1 << position
+        masks.append(mask)
+
+    positive_mask = 0
+    for position, positive in enumerate(labels.leads_to_miss):
+        if positive:
+            positive_mask |= 1 << position
+    return pool, masks, positive_mask
+
+
+def discover_context(
+    profile: ExecutionProfile,
+    site: int,
+    line: int,
+    config: ISpyConfig,
+) -> Optional[ContextResult]:
+    """Find the best miss context for a prefetch of *line* at *site*.
+
+    Returns None when no combination satisfies the probability,
+    recall and support requirements — the caller then injects an
+    unconditional prefetch instead.
+    """
+    labels = label_occurrences(
+        profile,
+        site,
+        line,
+        config.max_prefetch_distance,
+        max_occurrences=config.context_discovery_occurrences,
+    )
+    if not labels.total or not labels.positives:
+        return None
+    base_probability = labels.miss_probability
+
+    pool, masks, positive_mask = _predictor_pool(profile, labels, config)
+    if not pool:
+        return None
+    total_positives = _bit_count(positive_mask)
+
+    best: Optional[ContextResult] = None
+    fallback: Optional[ContextResult] = None
+    fallback_score = -1.0
+    indices = range(len(pool))
+
+    for size in range(1, config.max_predecessors + 1):
+        for combo in itertools.combinations(indices, size):
+            combined = masks[combo[0]]
+            for position in combo[1:]:
+                combined &= masks[position]
+                if not combined:
+                    break
+            support = _bit_count(combined)
+            if support < config.min_context_support:
+                continue
+            hits = _bit_count(combined & positive_mask)
+            probability = hits / support
+            recall = hits / total_positives if total_positives else 0.0
+            blocks = tuple(sorted(pool[position] for position in combo))
+            result = ContextResult(
+                blocks=blocks,
+                probability=probability,
+                support=support,
+                recall=recall,
+                base_probability=base_probability,
+            )
+            if recall >= config.min_context_recall:
+                if best is None or (result.probability, result.support) > (
+                    best.probability,
+                    best.support,
+                ):
+                    best = result
+            score = probability * recall
+            if score > fallback_score:
+                fallback_score = score
+                fallback = result
+
+    chosen = best if best is not None else fallback
+    if chosen is None:
+        return None
+    if chosen.probability < config.min_context_probability:
+        return None
+    if chosen.gain < config.min_context_gain:
+        return None
+    return chosen

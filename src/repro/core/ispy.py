@@ -1,0 +1,152 @@
+"""The I-SPY offline analysis pipeline (paper Section IV, Fig. 9).
+
+Given an LBR/PEBS :class:`ExecutionProfile`, :class:`ISpy` produces
+the :class:`PrefetchPlan` that would be injected into the binary:
+
+1. aggregate sampled misses into frequently-missing cache lines;
+2. select an injection site in the 27–200-cycle prefetch window for
+   each line (:mod:`repro.core.injection`);
+3. if the site has non-trivial fan-out, discover the miss context and
+   make the prefetch conditional (:mod:`repro.core.context`);
+4. coalesce same-site, same-context targets within the n-line window
+   (:mod:`repro.core.coalesce`);
+5. emit ``prefetch`` / ``Cprefetch`` / ``Lprefetch`` / ``CLprefetch``
+   instructions with their encoded context hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..profiling.profiler import ExecutionProfile
+from ..sim.trace import Program
+from .coalesce import (
+    CoalesceStats,
+    PlannedPrefetch,
+    coalesce_prefetches,
+    passthrough_groups,
+)
+from .config import DEFAULT_CONFIG, ISpyConfig
+from .context import ContextResult, discover_context
+from .hashing import context_mask
+from .injection import SiteSelection, frequent_miss_lines, select_site
+from .instructions import PrefetchInstr, PrefetchPlan
+from .validate import assert_valid
+
+
+@dataclass
+class ISpyReport:
+    """Everything the offline analysis decided, for inspection."""
+
+    config: ISpyConfig
+    selections: Dict[int, SiteSelection] = field(default_factory=dict)
+    contexts: Dict[Tuple[int, int], ContextResult] = field(default_factory=dict)
+    coalesce_stats: CoalesceStats = field(default_factory=CoalesceStats)
+    #: miss lines with no viable injection site
+    uncovered_lines: List[int] = field(default_factory=list)
+    #: total sampled miss lines considered
+    considered_lines: int = 0
+
+    @property
+    def conditional_fraction(self) -> float:
+        """Fraction of planned targets that became conditional."""
+        if not self.considered_lines:
+            return 0.0
+        return len(self.contexts) / self.considered_lines
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of considered miss lines that got a prefetch."""
+        if not self.considered_lines:
+            return 0.0
+        return 1.0 - len(self.uncovered_lines) / self.considered_lines
+
+
+@dataclass
+class ISpyResult:
+    plan: PrefetchPlan
+    report: ISpyReport
+
+
+class ISpy:
+    """The end-to-end offline analyzer."""
+
+    def __init__(self, config: ISpyConfig = DEFAULT_CONFIG):
+        self.config = config
+
+    def build_plan(self, program: Program, profile: ExecutionProfile) -> ISpyResult:
+        """Analyze *profile* and emit the prefetch plan for *program*."""
+        config = self.config
+        report = ISpyReport(config=config)
+        planned: List[PlannedPrefetch] = []
+
+        for line, _count in frequent_miss_lines(profile, config):
+            report.considered_lines += 1
+            selection = select_site(profile, line, config)
+            report.selections[line] = selection
+            if selection.chosen is None:
+                report.uncovered_lines.append(line)
+                continue
+            site = selection.chosen
+
+            context_blocks: Tuple[int, ...] = ()
+            if (
+                config.enable_conditional
+                and site.fanout > config.conditional_fanout_threshold
+            ):
+                context = discover_context(profile, site.block_id, line, config)
+                if context is not None:
+                    context_blocks = context.blocks
+                    report.contexts[(site.block_id, line)] = context
+
+            planned.append(
+                PlannedPrefetch(
+                    site=site.block_id,
+                    line=line,
+                    context=context_blocks,
+                    covers=(line,),
+                )
+            )
+
+        if config.enable_coalescing:
+            groups, report.coalesce_stats = coalesce_prefetches(
+                planned, config.coalesce_bits
+            )
+        else:
+            groups = passthrough_groups(planned)
+
+        plan = PrefetchPlan(name="ispy")
+        addresses = {block.block_id: block.address for block in program}
+        for group in groups:
+            mask: Optional[int] = None
+            if group.context:
+                mask = context_mask(
+                    (addresses[b] for b in group.context),
+                    config.context_hash_bits,
+                )
+            plan.add(
+                PrefetchInstr(
+                    site_block=group.site,
+                    base_line=group.base_line,
+                    bit_vector=group.bit_vector,
+                    context_mask=mask,
+                    context_blocks=group.context,
+                    context_hash_bits=config.context_hash_bits,
+                    vector_bits=max(config.coalesce_bits, 1),
+                    covers=group.covers,
+                )
+            )
+        # the linker-style sanity pass: a malformed plan is a bug in
+        # the analysis, not a condition to paper over at run time
+        assert_valid(plan, program)
+        return ISpyResult(plan=plan, report=report)
+
+
+def build_ispy_plan(
+    program: Program,
+    profile: ExecutionProfile,
+    config: ISpyConfig = DEFAULT_CONFIG,
+) -> ISpyResult:
+    """Convenience wrapper: one call from profile to plan."""
+    return ISpy(config).build_plan(program, profile)

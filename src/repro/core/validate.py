@@ -1,0 +1,145 @@
+"""Prefetch-plan validation — the linker's sanity pass.
+
+Before a plan is "injected into the binary" (Fig. 9, step 3), a real
+toolchain would verify it is well-formed against the program being
+rewritten.  :func:`validate_plan` performs those checks and returns a
+list of :class:`PlanIssue` findings:
+
+* ``unknown-site`` — instruction injected into a block that does not
+  exist in the program;
+* ``line-outside-text`` — a (base) prefetch target outside the
+  program's code lines (coalesced members may legitimately reach past
+  a function's end, so only targets entirely outside the text raise);
+* ``mask-width`` / ``vector-width`` — operands wider than the
+  configured hardware fields;
+* ``duplicate-instruction`` — byte-for-byte identical instructions at
+  one site (wasted slots);
+* ``self-prefetch`` — an instruction prefetching the very line its
+  own site occupies (always resident when it executes).
+
+``errors_only=True`` keeps hard errors (the first three); the rest are
+lint-grade warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from ..sim.trace import Program
+from .instructions import PrefetchPlan
+
+#: issue kinds considered hard errors
+ERROR_KINDS = frozenset({"unknown-site", "line-outside-text", "mask-width", "vector-width"})
+
+
+@dataclass(frozen=True)
+class PlanIssue:
+    """One validation finding."""
+
+    kind: str
+    site_block: int
+    detail: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.kind in ERROR_KINDS
+
+
+def validate_plan(
+    plan: PrefetchPlan,
+    program: Program,
+    errors_only: bool = False,
+) -> List[PlanIssue]:
+    """Check *plan* against *program*; returns findings (empty = clean)."""
+    issues: List[PlanIssue] = []
+
+    text_lines: Set[int] = set()
+    for block in program:
+        text_lines.update(block.lines)
+
+    for site in plan.sites():
+        instrs = plan.at_site(site)
+
+        if site not in program:
+            issues.append(
+                PlanIssue(
+                    "unknown-site",
+                    site,
+                    f"{len(instrs)} instruction(s) at nonexistent block {site}",
+                )
+            )
+            continue
+        site_lines = set(program.lines_of(site))
+
+        seen = set()
+        for instr in instrs:
+            if instr.context_mask is not None and (
+                instr.context_mask >> instr.context_hash_bits
+            ):
+                issues.append(
+                    PlanIssue(
+                        "mask-width",
+                        site,
+                        f"context mask 0x{instr.context_mask:x} exceeds "
+                        f"{instr.context_hash_bits} bits",
+                    )
+                )
+            if instr.bit_vector >> instr.vector_bits:
+                issues.append(
+                    PlanIssue(
+                        "vector-width",
+                        site,
+                        f"bit vector 0x{instr.bit_vector:x} exceeds "
+                        f"{instr.vector_bits} bits",
+                    )
+                )
+            targets = instr.target_lines()
+            if all(line not in text_lines for line in targets):
+                issues.append(
+                    PlanIssue(
+                        "line-outside-text",
+                        site,
+                        f"no target of base line {instr.base_line} lies in "
+                        f"the program's code",
+                    )
+                )
+            identity = (
+                instr.base_line,
+                instr.bit_vector,
+                instr.context_mask,
+            )
+            if identity in seen:
+                issues.append(
+                    PlanIssue(
+                        "duplicate-instruction",
+                        site,
+                        f"duplicate prefetch of line {instr.base_line}",
+                    )
+                )
+            seen.add(identity)
+            if instr.base_line in site_lines:
+                issues.append(
+                    PlanIssue(
+                        "self-prefetch",
+                        site,
+                        f"site block occupies target line {instr.base_line}",
+                    )
+                )
+
+    if errors_only:
+        issues = [issue for issue in issues if issue.is_error]
+    return issues
+
+
+def assert_valid(plan: PrefetchPlan, program: Program) -> None:
+    """Raise ``ValueError`` if the plan has any hard errors."""
+    errors = validate_plan(plan, program, errors_only=True)
+    if errors:
+        summary = "; ".join(
+            f"{issue.kind}@{issue.site_block}: {issue.detail}"
+            for issue in errors[:5]
+        )
+        raise ValueError(
+            f"invalid prefetch plan ({len(errors)} error(s)): {summary}"
+        )

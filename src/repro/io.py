@@ -1,0 +1,212 @@
+"""Serialization: save/load profiles, plans, specs and results.
+
+A production deployment of I-SPY separates roles in time and space —
+profiles are collected on serving machines, analyzed on build
+machines, and the resulting plans are applied at link time (Fig. 9).
+This module provides the interchange formats for those hand-offs:
+
+* :func:`save_plan` / :func:`load_plan` — injected-instruction lists;
+* :func:`save_profile` / :func:`load_profile` — LBR/PEBS recordings
+  (gzipped JSON; these carry full traces and can be large);
+* :func:`save_spec` / :func:`load_spec` — workload definitions, so an
+  experiment's exact synthetic application can be reconstructed;
+* :func:`stats_to_dict` — flat result records for logging.
+
+All formats are versioned JSON; unknown versions are rejected rather
+than silently misread.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Union
+
+from .core.instructions import PrefetchInstr, PrefetchPlan
+from .profiling.pebs import MissSample
+from .profiling.profiler import ExecutionProfile
+from .sim.stats import SimStats
+from .workloads.synthesis import AppSpec
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class FormatError(ValueError):
+    """Raised when a file does not carry the expected format/version."""
+
+
+def _check(payload: dict, kind: str) -> None:
+    if payload.get("format") != kind:
+        raise FormatError(
+            f"expected a {kind!r} file, found {payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported {kind} version {payload.get('version')!r}"
+        )
+
+
+# -- prefetch plans ----------------------------------------------------------
+
+
+def plan_to_dict(plan: PrefetchPlan) -> dict:
+    return {
+        "format": "prefetch-plan",
+        "version": FORMAT_VERSION,
+        "name": plan.name,
+        "instructions": [
+            {
+                "site_block": instr.site_block,
+                "base_line": instr.base_line,
+                "bit_vector": instr.bit_vector,
+                "context_mask": instr.context_mask,
+                "context_blocks": list(instr.context_blocks),
+                "context_hash_bits": instr.context_hash_bits,
+                "vector_bits": instr.vector_bits,
+                "covers": list(instr.covers),
+            }
+            for instr in plan
+        ],
+    }
+
+
+def plan_from_dict(payload: dict) -> PrefetchPlan:
+    _check(payload, "prefetch-plan")
+    plan = PrefetchPlan(name=payload.get("name", "plan"))
+    for record in payload["instructions"]:
+        plan.add(
+            PrefetchInstr(
+                site_block=record["site_block"],
+                base_line=record["base_line"],
+                bit_vector=record["bit_vector"],
+                context_mask=record["context_mask"],
+                context_blocks=tuple(record["context_blocks"]),
+                context_hash_bits=record["context_hash_bits"],
+                vector_bits=record["vector_bits"],
+                covers=tuple(record["covers"]),
+            )
+        )
+    return plan
+
+
+def save_plan(plan: PrefetchPlan, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(plan_to_dict(plan)))
+
+
+def load_plan(path: PathLike) -> PrefetchPlan:
+    return plan_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- execution profiles -------------------------------------------------------
+
+
+def profile_to_dict(profile: ExecutionProfile) -> dict:
+    return {
+        "format": "execution-profile",
+        "version": FORMAT_VERSION,
+        "program_name": profile.program_name,
+        "lbr_depth": profile.lbr_depth,
+        "block_ids": profile.block_ids,
+        "block_cycles": profile.block_cycles,
+        "cumulative_instructions": profile.cumulative_instructions,
+        "miss_samples": [
+            [s.trace_index, s.block_id, s.line, s.cycle]
+            for s in profile.miss_samples
+        ],
+        # edge counts as parallel arrays (JSON keys must be strings)
+        "edges": [
+            [src, dst, count]
+            for (src, dst), count in profile.edge_counts.items()
+        ],
+        "block_counts": [
+            [block, count] for block, count in profile.block_counts.items()
+        ],
+    }
+
+
+def profile_from_dict(payload: dict) -> ExecutionProfile:
+    _check(payload, "execution-profile")
+    return ExecutionProfile(
+        program_name=payload["program_name"],
+        block_ids=list(payload["block_ids"]),
+        block_cycles=list(payload["block_cycles"]),
+        miss_samples=[
+            MissSample(index, block, line, cycle)
+            for index, block, line, cycle in payload["miss_samples"]
+        ],
+        edge_counts=Counter(
+            {(src, dst): count for src, dst, count in payload["edges"]}
+        ),
+        block_counts=Counter(
+            {block: count for block, count in payload["block_counts"]}
+        ),
+        cumulative_instructions=list(payload["cumulative_instructions"]),
+        lbr_depth=payload["lbr_depth"],
+    )
+
+
+def save_profile(profile: ExecutionProfile, path: PathLike) -> None:
+    """Write a gzipped-JSON profile (they carry whole traces)."""
+    data = json.dumps(profile_to_dict(profile)).encode()
+    with gzip.open(Path(path), "wb") as handle:
+        handle.write(data)
+
+
+def load_profile(path: PathLike) -> ExecutionProfile:
+    with gzip.open(Path(path), "rb") as handle:
+        return profile_from_dict(json.loads(handle.read().decode()))
+
+
+# -- workload specs ------------------------------------------------------------
+
+
+def spec_to_dict(spec: AppSpec) -> dict:
+    from dataclasses import asdict
+
+    payload = asdict(spec)
+    payload["format"] = "app-spec"
+    payload["version"] = FORMAT_VERSION
+    return payload
+
+
+def spec_from_dict(payload: dict) -> AppSpec:
+    _check(payload, "app-spec")
+    fields = dict(payload)
+    fields.pop("format")
+    fields.pop("version")
+    for key in (
+        "request_mix",
+        "functions_per_layer",
+        "stages_range",
+        "block_bytes_range",
+        "callees_range",
+        "typed_arm_blocks",
+    ):
+        fields[key] = tuple(fields[key])
+    return AppSpec(**fields)
+
+
+def save_spec(spec: AppSpec, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2))
+
+
+def load_spec(path: PathLike) -> AppSpec:
+    return spec_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- results ---------------------------------------------------------------------
+
+
+def stats_to_dict(stats: SimStats) -> dict:
+    """A flat, JSON-ready record of one simulation's results."""
+    record = stats.as_dict()
+    record["format"] = "sim-stats"
+    record["version"] = FORMAT_VERSION
+    record["program_instructions"] = stats.program_instructions
+    record["late_prefetch_hits"] = stats.late_prefetch_hits
+    record["miss_level_counts"] = dict(stats.miss_level_counts)
+    return record

@@ -1,0 +1,20 @@
+"""LBR/PEBS profiling substrate (paper Fig. 9, step 1).
+
+``lbr``       32-entry last-branch-record ring buffer.
+``pebs``      sampled L1I miss events.
+``profiler``  :func:`profile_execution` -> :class:`ExecutionProfile`.
+"""
+
+from .lbr import LBR_DEPTH, BranchRecord, LastBranchRecord
+from .pebs import MissSample, PEBSSampler
+from .profiler import ExecutionProfile, profile_execution
+
+__all__ = [
+    "LBR_DEPTH",
+    "BranchRecord",
+    "ExecutionProfile",
+    "LastBranchRecord",
+    "MissSample",
+    "PEBSSampler",
+    "profile_execution",
+]

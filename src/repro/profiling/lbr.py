@@ -1,0 +1,63 @@
+"""Model of Intel's Last Branch Record (LBR) facility.
+
+The LBR is a 32-entry hardware ring buffer of the most recently
+retired branches.  I-SPY uses it two ways (paper Sections II-A, IV):
+
+* during profiling, the LBR contents at each sampled I-cache miss
+  give the *execution path* leading to the miss;
+* at run time, the proposed hardware hashes the LBR contents into the
+  runtime-hash that gates conditional prefetches.
+
+We record branch *source* basic blocks, which is the identity the
+paper's context discovery operates on ("the addresses of 32 most
+recently executed basic blocks").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Tuple
+
+#: Architectural LBR depth on modern x86-64.
+LBR_DEPTH = 32
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One LBR entry: a retired branch edge with its timestamp."""
+
+    source_block: int
+    target_block: int
+    cycle: float
+
+
+class LastBranchRecord:
+    """A fixed-depth ring buffer of :class:`BranchRecord` entries."""
+
+    def __init__(self, depth: int = LBR_DEPTH):
+        if depth <= 0:
+            raise ValueError("LBR depth must be positive")
+        self.depth = depth
+        self._entries: Deque[BranchRecord] = deque(maxlen=depth)
+
+    def record(self, source_block: int, target_block: int, cycle: float) -> None:
+        """Retire a branch from *source_block* to *target_block*."""
+        self._entries.append(BranchRecord(source_block, target_block, cycle))
+
+    def snapshot(self) -> Tuple[BranchRecord, ...]:
+        """Freeze the current contents, oldest entry first."""
+        return tuple(self._entries)
+
+    def source_blocks(self) -> Tuple[int, ...]:
+        """The recently-executed basic blocks, oldest first."""
+        return tuple(entry.source_block for entry in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,203 @@
+"""Online profiling: LBR + PEBS over a simulated execution.
+
+:func:`profile_execution` replays a trace through the same timing
+model used for evaluation, recording what the paper's production
+profiling records (Fig. 9, step 1):
+
+* the dynamic block sequence with per-block cycle timestamps (the LBR
+  stream — the paper notes "the LBR profile already includes dynamic
+  cycle information for each basic block", which is how I-SPY finds
+  prefetch-window predecessors without a per-application IPC guess);
+* sampled L1I miss events (PEBS ``frontend_retired.l1i_miss``);
+* dynamic-CFG edge and block counts.
+
+The resulting :class:`ExecutionProfile` is the single input to the
+offline analyses in :mod:`repro.core` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.cpu import TraceObserver, simulate
+from ..sim.params import MachineParams
+from ..sim.stats import SimStats
+from ..sim.trace import BlockTrace, Program
+from .lbr import LBR_DEPTH
+from .pebs import MissSample, PEBSSampler
+
+
+@dataclass
+class ExecutionProfile:
+    """A miss-annotated execution recording."""
+
+    program_name: str
+    block_ids: List[int]
+    block_cycles: List[float]
+    miss_samples: List[MissSample]
+    edge_counts: Counter
+    block_counts: Counter
+    #: cumulative retired instructions before each trace index — used
+    #: by AsmDB's IPC-based distance estimation (I-SPY uses the exact
+    #: per-block cycles above instead; Section IV)
+    cumulative_instructions: List[int] = field(default_factory=list)
+    lbr_depth: int = LBR_DEPTH
+    #: statistics of the profiling run itself (the no-prefetch
+    #: baseline measurement comes for free)
+    baseline_stats: Optional[SimStats] = None
+    _occurrence_index: Dict[int, List[int]] = field(
+        default_factory=dict, repr=False
+    )
+    _line_samples: Optional[Dict[int, List[MissSample]]] = field(
+        default=None, repr=False
+    )
+
+    # -- path context ---------------------------------------------------
+
+    def window(self, index: int, depth: Optional[int] = None) -> Sequence[int]:
+        """The LBR window: blocks executed just before trace *index*.
+
+        Excludes the block at *index* itself, matching hardware: the
+        LBR holds branches retired *before* the current fetch.
+        """
+        depth = depth or self.lbr_depth
+        start = max(0, index - depth)
+        return self.block_ids[start:index]
+
+    def occurrences(self, block_id: int) -> List[int]:
+        """All trace indices where *block_id* executed (ascending)."""
+        if not self._occurrence_index:
+            index: Dict[int, List[int]] = {}
+            for position, bid in enumerate(self.block_ids):
+                index.setdefault(bid, []).append(position)
+            self._occurrence_index = index
+        return self._occurrence_index.get(block_id, [])
+
+    def cycle_of(self, index: int) -> float:
+        return self.block_cycles[index]
+
+    @property
+    def average_cpi(self) -> float:
+        """Whole-profile cycles per instruction (stalls included).
+
+        This is the "average application-specific IPC" AsmDB uses to
+        convert instruction counts into its prefetch window.
+        """
+        if self.baseline_stats is not None and self.baseline_stats.cycles:
+            return (
+                self.baseline_stats.cycles
+                / max(1, self.baseline_stats.program_instructions)
+            )
+        if not self.cumulative_instructions:
+            return 1.0
+        total_instr = self.cumulative_instructions[-1]
+        return self.block_cycles[-1] / total_instr if total_instr else 1.0
+
+    def estimated_cycle_distance(self, from_index: int, to_index: int) -> float:
+        """IPC-estimated cycles between two trace positions."""
+        instr = (
+            self.cumulative_instructions[to_index]
+            - self.cumulative_instructions[from_index]
+        )
+        return instr * self.average_cpi
+
+    # -- miss aggregation ---------------------------------------------------
+
+    def miss_counts_by_line(self) -> Counter:
+        counts: Counter = Counter()
+        for sample in self.miss_samples:
+            counts[sample.line] += 1
+        return counts
+
+    def samples_for_line(self, line: int) -> List[MissSample]:
+        if self._line_samples is None:
+            grouped: Dict[int, List[MissSample]] = {}
+            for sample in self.miss_samples:
+                grouped.setdefault(sample.line, []).append(sample)
+            self._line_samples = grouped
+        return self._line_samples.get(line, [])
+
+    def miss_indices_for_line(self, line: int) -> List[int]:
+        return [sample.trace_index for sample in self.samples_for_line(line)]
+
+    def next_miss_within(
+        self, line: int, index: int, max_cycles: float
+    ) -> Optional[MissSample]:
+        """The first sampled miss of *line* after trace *index* whose
+        cycle distance from *index* is at most *max_cycles*."""
+        samples = self.samples_for_line(line)
+        indices = [sample.trace_index for sample in samples]
+        position = bisect.bisect_right(indices, index)
+        if position >= len(samples):
+            return None
+        candidate = samples[position]
+        if candidate.cycle - self.block_cycles[index] <= max_cycles:
+            return candidate
+        return None
+
+    # -- summary ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    @property
+    def sampled_miss_count(self) -> int:
+        return len(self.miss_samples)
+
+
+class _ProfilingObserver(TraceObserver):
+    """Collects the LBR/PEBS view during a profiling replay."""
+
+    def __init__(self, sample_period: int):
+        self.block_cycles: List[float] = []
+        self.pebs = PEBSSampler(sample_period)
+
+    def on_block(self, index: int, block_id: int, cycle: float) -> None:
+        self.block_cycles.append(cycle)
+
+    def on_miss(self, index: int, block_id: int, line: int, cycle: float) -> None:
+        self.pebs.observe(index, block_id, line, cycle)
+
+
+def profile_execution(
+    program: Program,
+    trace: BlockTrace,
+    machine: Optional[MachineParams] = None,
+    sample_period: int = 1,
+    data_traffic=None,
+) -> ExecutionProfile:
+    """Profile one execution of *trace* (no prefetching active)."""
+    observer = _ProfilingObserver(sample_period)
+    stats = simulate(
+        program,
+        trace,
+        machine=machine,
+        observer=observer,
+        data_traffic=data_traffic,
+    )
+
+    edge_counts: Counter = Counter(
+        zip(trace.block_ids, trace.block_ids[1:])
+    )
+    block_counts: Counter = Counter(trace.block_ids)
+
+    instr_of = {block.block_id: block.instruction_count for block in program}
+    cumulative = [0] * len(trace.block_ids)
+    running = 0
+    for index, block_id in enumerate(trace.block_ids):
+        cumulative[index] = running
+        running += instr_of[block_id]
+
+    return ExecutionProfile(
+        program_name=program.name,
+        block_ids=list(trace.block_ids),
+        block_cycles=observer.block_cycles,
+        miss_samples=observer.pebs.samples,
+        edge_counts=edge_counts,
+        block_counts=block_counts,
+        cumulative_instructions=cumulative,
+        baseline_stats=stats,
+    )

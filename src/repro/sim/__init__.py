@@ -1,0 +1,35 @@
+"""Trace-driven microarchitectural simulator (the ZSim substrate).
+
+Modules
+-------
+``params``           Table I machine description.
+``replacement``      LRU stacks with priority insertion.
+``cache``            set-associative cache level.
+``hierarchy``        L1I/L2/L3/memory fetch path.
+``trace``            static programs & dynamic block traces.
+``prefetch_engine``  runtime execution of injected prefetches.
+``frontend``         fetch timing & stall accounting.
+``cpu``              the replay loop (:func:`repro.sim.cpu.simulate`).
+``stats``            per-run counters and derived metrics.
+"""
+
+from .cpu import CoreSimulator, TraceObserver, simulate
+from .hierarchy import MemoryHierarchy
+from .params import CACHE_LINE_BYTES, DEFAULT_MACHINE, MachineParams, line_of
+from .stats import SimStats
+from .trace import BlockInfo, BlockTrace, Program
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "DEFAULT_MACHINE",
+    "BlockInfo",
+    "BlockTrace",
+    "CoreSimulator",
+    "MachineParams",
+    "MemoryHierarchy",
+    "Program",
+    "SimStats",
+    "TraceObserver",
+    "line_of",
+    "simulate",
+]

@@ -1,0 +1,245 @@
+"""Trace-driven core simulator (our ZSim stand-in).
+
+:class:`CoreSimulator` replays a :class:`~repro.sim.trace.BlockTrace`
+over the Table I memory hierarchy.  Each retired instruction takes
+``1 / base_ipc`` cycles; every frontend stall adds its penalty on top,
+matching the paper's framing that I-cache misses "show up as glaring
+stalls in the critical path of execution".
+
+The simulator optionally executes a :class:`PrefetchPlan` through the
+:class:`PrefetchEngine` — this is how I-SPY, AsmDB and the limit
+prefetchers are all evaluated on identical replay machinery — and can
+run in *ideal* mode where every fetch hits (the paper's upper bound).
+
+A :class:`TraceObserver` hook exposes per-block and per-miss events;
+the LBR/PEBS profiler is implemented as an observer so profiling and
+evaluation share one timing model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from .frontend import FetchEngine
+from .hierarchy import MemoryHierarchy
+from .params import MachineParams
+from .prefetch_engine import PrefetchEngine
+from .stats import SimStats
+from .trace import BlockTrace, Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.instructions import PrefetchPlan
+    from .datatraffic import DataTrafficModel
+
+
+class TraceObserver:
+    """Event hooks invoked during replay.  Base class is a no-op."""
+
+    def on_block(self, index: int, block_id: int, cycle: float) -> None:
+        """A basic block began fetching at *cycle*."""
+
+    def on_miss(self, index: int, block_id: int, line: int, cycle: float) -> None:
+        """Fetching *block_id* missed the L1I on *line* at *cycle*."""
+
+
+class _ObservingFetchEngine(FetchEngine):
+    """FetchEngine variant that reports misses to an observer."""
+
+    def __init__(self, *args, observer: TraceObserver, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._observer = observer
+        self._index = 0
+        self._block = 0
+
+    def set_position(self, index: int, block_id: int) -> None:
+        self._index = index
+        self._block = block_id
+
+    def fetch_block(self, block_id: int, now: float) -> float:
+        stats = self.stats
+        hierarchy = self.hierarchy
+        engine = self.engine
+        stall = 0.0
+        for line in self._lines[block_id]:
+            stats.l1i_accesses += 1
+            arrival = engine.arrival_of(line) if engine is not None else None
+            if arrival is not None and arrival > now + stall:
+                remainder = arrival - (now + stall)
+                stall += remainder
+                stats.late_prefetch_hits += 1
+                stats.late_prefetch_stall_cycles += remainder
+                hierarchy.l1i.access(line)
+                continue
+            result = hierarchy.fetch(line)
+            if result.was_l1_miss:
+                stats.l1i_misses += 1
+                stats.record_miss_level(result.level)
+                completion = hierarchy.fill_port.request(
+                    now + stall, result.level
+                )
+                stall = completion - now
+                self._observer.on_miss(self._index, block_id, line, now + stall)
+        return stall
+
+
+class CoreSimulator:
+    """One core replaying one program's trace."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine: Optional[MachineParams] = None,
+        plan: Optional["PrefetchPlan"] = None,
+        ideal: bool = False,
+        hash_bits: int = 16,
+        lbr_depth: int = 32,
+        track_exact_context: bool = False,
+        data_traffic: Optional["DataTrafficModel"] = None,
+        prefetch_insertion_fraction: float = 0.5,
+    ):
+        self.program = program
+        self.machine = machine or MachineParams()
+        self.plan = plan
+        self.ideal = ideal
+        self.hash_bits = hash_bits
+        self.lbr_depth = lbr_depth
+        self.track_exact_context = track_exact_context
+        self.data_traffic = data_traffic
+
+        self.hierarchy = MemoryHierarchy(
+            self.machine,
+            prefetch_insertion_fraction=prefetch_insertion_fraction,
+        )
+        self.stats = SimStats()
+        self.engine: Optional[PrefetchEngine] = None
+        self._instr_counts: Dict[int, int] = {
+            block.block_id: block.instruction_count for block in program
+        }
+
+        if plan is not None and len(plan) > 0 and not ideal:
+            # Imported here rather than at module level: `repro.sim` is
+            # the substrate `repro.core`'s pipeline builds on, so the
+            # module-level dependency points core -> sim only.
+            from ..core.bloom import LBRRuntimeHash
+            from ..core.hashing import bit_position_table
+
+            tracker = None
+            if any(instr.is_conditional for instr in plan):
+                addresses = {b.block_id: b.address for b in program}
+                tracker = LBRRuntimeHash(
+                    bit_position_table(addresses, hash_bits),
+                    hash_bits=hash_bits,
+                    depth=lbr_depth,
+                )
+            self.engine = PrefetchEngine(
+                self.hierarchy,
+                plan,
+                self.stats,
+                tracker=tracker,
+                track_exact_context=track_exact_context,
+            )
+
+    def run(
+        self,
+        trace: BlockTrace,
+        observer: Optional[TraceObserver] = None,
+        warmup: int = 0,
+    ) -> SimStats:
+        """Replay *trace* and return the populated statistics.
+
+        ``warmup`` block executions are replayed first with full cache
+        effects but excluded from the reported statistics — the
+        steady-state measurement methodology of Section V ("We record
+        up to 100 million instructions executed in steady-state").
+        """
+        stats = self.stats
+        engine = self.engine
+        cpi = 1.0 / self.machine.base_ipc
+        prefetch_cpi = 1.0 / self.machine.issue_width
+        instr_counts = self._instr_counts
+
+        if observer is not None:
+            fetch: FetchEngine = _ObservingFetchEngine(
+                self.program,
+                self.hierarchy,
+                stats,
+                engine,
+                ideal=self.ideal,
+                observer=observer,
+            )
+        else:
+            fetch = FetchEngine(
+                self.program, self.hierarchy, stats, engine, ideal=self.ideal
+            )
+
+        data_traffic = None if self.ideal else self.data_traffic
+        hierarchy = self.hierarchy
+        now = 0.0
+        program_instructions = 0
+        for index, block_id in enumerate(trace):
+            if index == warmup and warmup > 0:
+                # Steady state begins: drop the warmup counters but
+                # keep every piece of microarchitectural state.
+                stats.clear()
+                hierarchy.l1i.stats.reset()
+                hierarchy.l2.stats.reset()
+                hierarchy.l3.stats.reset()
+                program_instructions = 0
+            if observer is not None:
+                observer.on_block(index, block_id, now)
+                if isinstance(fetch, _ObservingFetchEngine):
+                    fetch.set_position(index, block_id)
+            if engine is not None:
+                executed = engine.execute_site(block_id, now)
+                if executed:
+                    now += executed * prefetch_cpi
+            stall = fetch.fetch_block(block_id, now)
+            if stall:
+                stats.frontend_stall_cycles += stall
+                now += stall
+            count = instr_counts[block_id]
+            program_instructions += count
+            now += count * cpi
+            if engine is not None:
+                engine.retire_block(block_id)
+            if data_traffic is not None:
+                data_traffic.advance(count, hierarchy)
+
+        stats.program_instructions = program_instructions
+        stats.compute_cycles = (
+            program_instructions * cpi
+            + stats.prefetch_instructions_executed * prefetch_cpi
+        )
+        # Late-prefetch hits are already counted by the L1I's demand
+        # access bookkeeping (the line was filled at issue time).
+        stats.prefetches_useful = self.hierarchy.l1i.stats.prefetch_hits
+        return stats
+
+
+def simulate(
+    program: Program,
+    trace: BlockTrace,
+    plan: Optional["PrefetchPlan"] = None,
+    machine: Optional[MachineParams] = None,
+    ideal: bool = False,
+    hash_bits: int = 16,
+    lbr_depth: int = 32,
+    track_exact_context: bool = False,
+    observer: Optional[TraceObserver] = None,
+    data_traffic: Optional["DataTrafficModel"] = None,
+    warmup: int = 0,
+    prefetch_insertion_fraction: float = 0.5,
+) -> SimStats:
+    """One-shot convenience wrapper around :class:`CoreSimulator`."""
+    core = CoreSimulator(
+        program,
+        machine=machine,
+        plan=plan,
+        ideal=ideal,
+        hash_bits=hash_bits,
+        lbr_depth=lbr_depth,
+        track_exact_context=track_exact_context,
+        data_traffic=data_traffic,
+        prefetch_insertion_fraction=prefetch_insertion_fraction,
+    )
+    return core.run(trace, observer=observer, warmup=warmup)

@@ -1,0 +1,109 @@
+"""Replacement policies for the set-associative cache model.
+
+The paper's prefetch instructions insert prefetched lines at *half* the
+highest replacement priority instead of the MRU position (Section
+III-B, "Replacement policy for prefetched lines"), so that an
+inaccurate prefetch is evicted sooner than demand-fetched lines.  We
+model this with an LRU recency stack that supports insertion at an
+arbitrary depth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class LRUStack:
+    """One cache set: an explicit recency stack of line tags.
+
+    Index 0 is the MRU position; index ``len-1`` is the LRU victim.
+    Operations are O(ways), which is fine for ways <= 20 (Table I).
+    """
+
+    __slots__ = ("ways", "_stack")
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.ways = ways
+        self._stack: List[int] = []
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._stack
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def tags(self) -> Iterable[int]:
+        """Current resident tags in MRU-to-LRU order."""
+        return tuple(self._stack)
+
+    def touch(self, tag: int) -> bool:
+        """Record a demand hit on *tag*, promoting it to MRU.
+
+        Returns True if the tag was resident.
+        """
+        try:
+            self._stack.remove(tag)
+        except ValueError:
+            return False
+        self._stack.insert(0, tag)
+        return True
+
+    def insert(self, tag: int, depth: int = 0) -> Optional[int]:
+        """Insert *tag* at recency *depth* (0 = MRU).
+
+        Returns the evicted victim tag, or None if the set had room.
+        If the tag is already resident it is simply moved to *depth*.
+        """
+        victim: Optional[int] = None
+        if tag in self._stack:
+            self._stack.remove(tag)
+        elif len(self._stack) >= self.ways:
+            victim = self._stack.pop()
+        depth = max(0, min(depth, len(self._stack)))
+        self._stack.insert(depth, tag)
+        return victim
+
+    def evict(self, tag: int) -> bool:
+        """Invalidate *tag*; returns True if it was resident."""
+        try:
+            self._stack.remove(tag)
+        except ValueError:
+            return False
+        return True
+
+    def victim(self) -> Optional[int]:
+        """The tag that would be evicted next, or None if not full."""
+        if len(self._stack) < self.ways:
+            return None
+        return self._stack[-1]
+
+
+class InsertionPolicy:
+    """Maps a fill source to an LRU-stack insertion depth.
+
+    Demand fills go to MRU (depth 0).  Prefetch fills go to half of the
+    stack depth, the paper's "half of the highest priority".
+    """
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+
+    def __init__(self, ways: int, prefetch_fraction: float = 0.5):
+        if not 0.0 <= prefetch_fraction <= 1.0:
+            raise ValueError("prefetch_fraction must be in [0, 1]")
+        self.ways = ways
+        self.prefetch_fraction = prefetch_fraction
+
+    def depth_for(self, source: str) -> int:
+        if source == self.DEMAND:
+            return 0
+        if source == self.PREFETCH:
+            return int(self.ways * self.prefetch_fraction)
+        raise ValueError(f"unknown fill source: {source!r}")
+
+
+def make_sets(num_sets: int, ways: int) -> Dict[int, LRUStack]:
+    """Pre-allocate the per-set recency stacks for a cache."""
+    return {index: LRUStack(ways) for index in range(num_sets)}

@@ -1,0 +1,152 @@
+"""Static program description and dynamic execution traces.
+
+The whole reproduction operates at *basic-block* granularity, exactly
+like the paper's dynamic CFG: a static :class:`Program` maps block ids
+to their byte addresses and cache-line spans, and a dynamic
+:class:`BlockTrace` is the sequence of block executions the simulator
+replays (ZSim's trace-driven mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .params import CACHE_LINE_BYTES, line_of
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One static basic block.
+
+    ``address`` is the byte address of the first instruction (the
+    block identity used by LBR records and context hashing);
+    ``size_bytes`` is the block's code size, which determines the
+    cache lines the fetch engine touches.
+    """
+
+    block_id: int
+    address: int
+    size_bytes: int
+    instruction_count: int
+    function_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("basic block must occupy at least one byte")
+        if self.instruction_count <= 0:
+            raise ValueError("basic block must contain at least one instruction")
+
+    @property
+    def lines(self) -> Tuple[int, ...]:
+        """Cache lines spanned by this block, in fetch order."""
+        first = line_of(self.address)
+        last = line_of(self.address + self.size_bytes - 1)
+        return tuple(range(first, last + 1))
+
+    @property
+    def start_line(self) -> int:
+        return line_of(self.address)
+
+
+class Program:
+    """The static side of a workload: every basic block, plus text size.
+
+    Blocks must have non-overlapping address ranges; the constructor
+    validates this so layout bugs in the workload synthesizer surface
+    immediately rather than as inexplicable cache behaviour.
+    """
+
+    def __init__(self, blocks: Sequence[BlockInfo], name: str = "program"):
+        if not blocks:
+            raise ValueError("a program needs at least one basic block")
+        self.name = name
+        self._blocks: Dict[int, BlockInfo] = {}
+        for block in blocks:
+            if block.block_id in self._blocks:
+                raise ValueError(f"duplicate block id {block.block_id}")
+            self._blocks[block.block_id] = block
+        self._validate_layout()
+        self._line_cache: Dict[int, Tuple[int, ...]] = {
+            b.block_id: b.lines for b in blocks
+        }
+
+    def _validate_layout(self) -> None:
+        ordered = sorted(self._blocks.values(), key=lambda b: b.address)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if prev.address + prev.size_bytes > cur.address:
+                raise ValueError(
+                    f"blocks {prev.block_id} and {cur.block_id} overlap in "
+                    f"the address space"
+                )
+
+    # -- mapping-ish interface ----------------------------------------
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[BlockInfo]:
+        return iter(self._blocks.values())
+
+    def block(self, block_id: int) -> BlockInfo:
+        return self._blocks[block_id]
+
+    def block_ids(self) -> Tuple[int, ...]:
+        return tuple(self._blocks.keys())
+
+    def lines_of(self, block_id: int) -> Tuple[int, ...]:
+        return self._line_cache[block_id]
+
+    # -- aggregate properties ------------------------------------------
+
+    @property
+    def text_bytes(self) -> int:
+        """Static code footprint in bytes."""
+        return sum(b.size_bytes for b in self._blocks.values())
+
+    @property
+    def footprint_lines(self) -> int:
+        """Distinct cache lines the program's code occupies."""
+        lines = set()
+        for block_lines in self._line_cache.values():
+            lines.update(block_lines)
+        return len(lines)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_lines * CACHE_LINE_BYTES
+
+
+@dataclass
+class BlockTrace:
+    """A dynamic execution: the sequence of basic blocks retired.
+
+    ``block_ids`` is the replay order.  ``metadata`` carries workload
+    provenance (app name, input mix, seed) so experiment results are
+    self-describing.
+    """
+
+    block_ids: List[int]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.block_ids:
+            raise ValueError("empty trace")
+
+    def __len__(self) -> int:
+        return len(self.block_ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.block_ids)
+
+    def instruction_count(self, program: Program) -> int:
+        """Total retired instructions (excluding injected prefetches)."""
+        counts = {b.block_id: b.instruction_count for b in program}
+        return sum(counts[bid] for bid in self.block_ids)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "BlockTrace":
+        """A sub-trace view with the same metadata."""
+        return BlockTrace(self.block_ids[start:stop], dict(self.metadata))

@@ -1,0 +1,32 @@
+"""Synthetic data-center workloads (substitute for the paper's nine apps).
+
+``cfgmodel``   stochastic control-flow models and trace walks.
+``layout``     linker-style address-space layout of synthesized code.
+``synthesis``  the application generator (:func:`synthesize`).
+``apps``       the nine named application specs (:func:`get_app`).
+``inputs``     alternative request mixes for the Fig. 16 study.
+"""
+
+from .apps import APP_NAMES, app_spec, build_app, get_app
+from .cfgmodel import Branch, Call, ControlFlowModel, Jump, Return
+from .inputs import INPUT_NAMES, input_mixes, trace_for_input
+from .synthesis import AppSpec, SyntheticApp, scaled_spec, synthesize
+
+__all__ = [
+    "APP_NAMES",
+    "AppSpec",
+    "Branch",
+    "Call",
+    "ControlFlowModel",
+    "INPUT_NAMES",
+    "Jump",
+    "Return",
+    "SyntheticApp",
+    "app_spec",
+    "build_app",
+    "get_app",
+    "input_mixes",
+    "scaled_spec",
+    "synthesize",
+    "trace_for_input",
+]

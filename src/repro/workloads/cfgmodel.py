@@ -1,0 +1,206 @@
+"""Stochastic control-flow models for synthetic applications.
+
+A :class:`ControlFlowModel` gives every basic block a *terminator* —
+branch, call, jump or return — with branch targets weighted by
+probabilities.  A seeded random walk over the model produces the
+dynamic block trace the simulator replays.  This is the generative
+counterpart of the paper's *dynamic CFG*: the walk's edge frequencies
+are exactly the CFG edge weights the profiler later recovers.
+
+Walk semantics
+--------------
+* ``Branch``  — choose a successor from the weighted distribution.
+* ``Call``    — push the link block, continue at the callee's entry.
+* ``Jump``    — unconditional transfer.
+* ``Return``  — pop the call stack; an empty stack restarts the walk
+  at the model entry (the driver loop's next request).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Conditional/indirect branch: weighted successor choice."""
+
+    targets: Tuple[int, ...]
+    probs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.targets) != len(self.probs) or not self.targets:
+            raise ValueError("targets and probs must be equal-length and non-empty")
+        total = sum(self.probs)
+        if total <= 0:
+            raise ValueError("branch probabilities must sum to a positive value")
+        if any(p < 0 for p in self.probs):
+            raise ValueError("branch probabilities must be non-negative")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Direct call; execution resumes at ``link`` after the return."""
+
+    callee: int
+    link: int
+
+
+@dataclass(frozen=True)
+class Jump:
+    target: int
+
+
+@dataclass(frozen=True)
+class Return:
+    pass
+
+
+@dataclass(frozen=True)
+class TypedBranch:
+    """Indirect branch whose target depends on the active request type.
+
+    Models virtual dispatch / callback tables inside shared library
+    code: a shared utility takes a *different internal path for each
+    request type* that reaches it.  This is the paper's Fig. 2
+    structure — whether the miss block is reached is determined by
+    execution context, not by a local coin flip — and it is what makes
+    conditional prefetching strictly more accurate than unconditional
+    injection at the shared site.
+
+    The walk resolves the target as ``targets[request_type %
+    len(targets)]``, where the active request type is set by the most
+    recently executed *type marker* block (the driver's dispatch
+    stubs).
+    """
+
+    targets: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("TypedBranch needs at least one target")
+
+
+Terminator = Union[Branch, Call, Jump, Return, TypedBranch]
+
+
+class ControlFlowModel:
+    """Block terminators + entry point; generates dynamic traces."""
+
+    def __init__(
+        self,
+        terminators: Mapping[int, Terminator],
+        entry: int,
+        type_markers: Optional[Mapping[int, int]] = None,
+    ):
+        if entry not in terminators:
+            raise ValueError("entry block has no terminator")
+        self._terminators: Dict[int, Terminator] = dict(terminators)
+        self.entry = entry
+        #: block -> request type it activates (the dispatch stubs)
+        self.type_markers: Dict[int, int] = dict(type_markers or {})
+        self._validate()
+
+    def _validate(self) -> None:
+        known = self._terminators.keys()
+        for block_id, term in self._terminators.items():
+            if isinstance(term, (Branch, TypedBranch)):
+                missing = [t for t in term.targets if t not in known]
+            elif isinstance(term, Call):
+                missing = [t for t in (term.callee, term.link) if t not in known]
+            elif isinstance(term, Jump):
+                missing = [] if term.target in known else [term.target]
+            else:
+                missing = []
+            if missing:
+                raise ValueError(
+                    f"block {block_id} targets unknown blocks {missing}"
+                )
+
+    # -- introspection ---------------------------------------------------
+
+    def terminator(self, block_id: int) -> Terminator:
+        return self._terminators[block_id]
+
+    def block_ids(self) -> Tuple[int, ...]:
+        return tuple(self._terminators.keys())
+
+    def __len__(self) -> int:
+        return len(self._terminators)
+
+    def static_successors(self, block_id: int) -> Tuple[int, ...]:
+        """All possible immediate successors of *block_id*."""
+        term = self._terminators[block_id]
+        if isinstance(term, (Branch, TypedBranch)):
+            return term.targets
+        if isinstance(term, Call):
+            return (term.callee,)
+        if isinstance(term, Jump):
+            return (term.target,)
+        return ()
+
+    # -- input variation ---------------------------------------------------
+
+    def with_branch_probs(
+        self, overrides: Mapping[int, Sequence[float]]
+    ) -> "ControlFlowModel":
+        """A copy with some blocks' branch probabilities replaced.
+
+        This is how alternative *application inputs* are modelled
+        (Fig. 16): the code is identical, only the dynamic mix of paths
+        changes.
+        """
+        terminators = dict(self._terminators)
+        for block_id, probs in overrides.items():
+            term = terminators.get(block_id)
+            if not isinstance(term, Branch):
+                raise ValueError(f"block {block_id} is not a Branch")
+            terminators[block_id] = Branch(term.targets, tuple(probs))
+        return ControlFlowModel(terminators, self.entry, self.type_markers)
+
+    # -- trace generation ----------------------------------------------------
+
+    def generate(
+        self,
+        length: int,
+        seed: int,
+        start: Optional[int] = None,
+        max_stack_depth: int = 64,
+    ) -> List[int]:
+        """Random-walk a dynamic trace of *length* block executions."""
+        if length <= 0:
+            raise ValueError("trace length must be positive")
+        rng = random.Random(seed)
+        terminators = self._terminators
+        type_markers = self.type_markers
+        entry = self.entry
+        stack: List[int] = []
+        current = start if start is not None else entry
+        current_type = 0
+        out: List[int] = []
+        append = out.append
+
+        while len(out) < length:
+            append(current)
+            if current in type_markers:
+                current_type = type_markers[current]
+            term = terminators[current]
+            if isinstance(term, Branch):
+                current = rng.choices(term.targets, weights=term.probs)[0]
+            elif isinstance(term, TypedBranch):
+                current = term.targets[current_type % len(term.targets)]
+            elif isinstance(term, Call):
+                if len(stack) < max_stack_depth:
+                    stack.append(term.link)
+                    current = term.callee
+                else:
+                    # Stack-depth guard: treat as a tail call that
+                    # skips straight past the callee.
+                    current = term.link
+            elif isinstance(term, Jump):
+                current = term.target
+            else:  # Return
+                current = stack.pop() if stack else entry
+        return out

@@ -1,0 +1,83 @@
+"""Alternative application inputs (Fig. 16 generalization study).
+
+The paper stresses that data-center load "drastically varies (e.g.,
+diurnal load trends or load transients)", so a profile-guided
+optimization must help on inputs *other than the profiled one*.  We
+model an input as a request-type mix: the program text is unchanged,
+only the dispatcher's branch probabilities move, shifting which
+handler paths dominate — exactly the control-flow divergence that
+degrades AsmDB's statically-chosen prefetches.
+
+Input "default" is always the profiling input; inputs "input-1" …
+"input-4" progressively diverge from it (rotated and skewed mixes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .synthesis import SyntheticApp
+
+#: Names of the five inputs used in the Fig. 16 study.
+INPUT_NAMES: Tuple[str, ...] = (
+    "default",
+    "input-1",
+    "input-2",
+    "input-3",
+    "input-4",
+)
+
+
+def _normalize(weights: Sequence[float]) -> Tuple[float, ...]:
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("input mix weights must sum to a positive value")
+    return tuple(w / total for w in weights)
+
+
+def _rotate(mix: Sequence[float], steps: int) -> List[float]:
+    steps %= len(mix)
+    return list(mix[steps:]) + list(mix[:steps])
+
+
+def _skew(mix: Sequence[float], exponent: float) -> List[float]:
+    return [w ** exponent for w in mix]
+
+
+def input_mixes(app: SyntheticApp) -> Dict[str, Tuple[float, ...]]:
+    """The five request mixes for *app*, keyed by input name.
+
+    * ``default`` — the profiling mix from the spec.
+    * ``input-1`` — mildly flattened (load spread more evenly).
+    * ``input-2`` — sharpened (one request type surges).
+    * ``input-3`` — rotated by one (a different type dominates).
+    * ``input-4`` — rotated by two and flattened (worst drift).
+    """
+    base = app.spec.request_mix
+    return {
+        "default": _normalize(base),
+        "input-1": _normalize(_skew(base, 0.6)),
+        "input-2": _normalize(_skew(base, 1.7)),
+        "input-3": _normalize(_rotate(base, 1)),
+        "input-4": _normalize(_skew(_rotate(base, 2), 0.7)),
+    }
+
+
+def trace_for_input(
+    app: SyntheticApp,
+    input_name: str,
+    length: int,
+    seed_offset: int = 0,
+):
+    """Generate *app*'s trace under the named input mix."""
+    mixes = input_mixes(app)
+    if input_name not in mixes:
+        raise KeyError(
+            f"unknown input {input_name!r}; known: {', '.join(INPUT_NAMES)}"
+        )
+    return app.trace(
+        length,
+        seed=app.spec.seed + 7001 + seed_offset,
+        mix=mixes[input_name],
+        input_name=input_name,
+    )

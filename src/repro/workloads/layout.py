@@ -1,0 +1,116 @@
+"""Static code-layout construction.
+
+Assigns byte addresses to synthesized basic blocks the way a linker
+lays out compiled code: functions occupy contiguous address ranges in
+definition order, blocks within a function are contiguous, and
+functions are aligned to cache-line boundaries (profile-guided
+alignment, which the paper allows its baseline binaries to use).
+
+Keeping intra-function blocks adjacent is what creates the paper's
+*spatially-near non-contiguous* miss patterns: a walk through a
+function touches some, but not all, of a small band of cache lines —
+the pattern prefetch coalescing exploits (Section II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.params import CACHE_LINE_BYTES
+from ..sim.trace import BlockInfo, Program
+
+#: Rough bytes-per-instruction for x86-64 server code.
+BYTES_PER_INSTRUCTION = 4
+
+
+@dataclass
+class FunctionLayout:
+    """Address-space bookkeeping for one synthesized function."""
+
+    function_id: int
+    name: str
+    start_address: int
+    block_ids: List[int] = field(default_factory=list)
+    end_address: int = 0
+
+
+class LayoutBuilder:
+    """Accumulates blocks function by function, then emits a Program."""
+
+    def __init__(self, base_address: int = 0x400000):
+        self._next_address = base_address
+        self._next_block_id = 0
+        self._next_function_id = 0
+        self._blocks: List[BlockInfo] = []
+        self._functions: List[FunctionLayout] = []
+        self._open = False
+
+    # -- function scope ---------------------------------------------------
+
+    def begin_function(self, name: str) -> FunctionLayout:
+        if self._open:
+            raise RuntimeError("previous function not closed")
+        # Align function starts to cache lines, like PGO alignment.
+        remainder = self._next_address % CACHE_LINE_BYTES
+        if remainder:
+            self._next_address += CACHE_LINE_BYTES - remainder
+        layout = FunctionLayout(
+            self._next_function_id, name, self._next_address
+        )
+        self._functions.append(layout)
+        self._next_function_id += 1
+        self._open = True
+        return layout
+
+    def end_function(self) -> None:
+        if not self._open:
+            raise RuntimeError("no function open")
+        self._functions[-1].end_address = self._next_address
+        self._open = False
+
+    # -- block emission -------------------------------------------------------
+
+    def add_block(self, size_bytes: int) -> int:
+        """Append a block to the open function; returns its id."""
+        if not self._open:
+            raise RuntimeError("add_block outside a function")
+        size_bytes = max(size_bytes, BYTES_PER_INSTRUCTION)
+        instruction_count = max(1, size_bytes // BYTES_PER_INSTRUCTION)
+        block = BlockInfo(
+            block_id=self._next_block_id,
+            address=self._next_address,
+            size_bytes=size_bytes,
+            instruction_count=instruction_count,
+            function_id=self._functions[-1].function_id,
+        )
+        self._blocks.append(block)
+        self._functions[-1].block_ids.append(block.block_id)
+        self._next_block_id += 1
+        self._next_address += size_bytes
+        return block.block_id
+
+    # -- results ------------------------------------------------------------------
+
+    def build(self, name: str) -> Tuple[Program, List[FunctionLayout]]:
+        if self._open:
+            raise RuntimeError("unclosed function at build time")
+        if not self._blocks:
+            raise ValueError("no blocks were laid out")
+        return Program(self._blocks, name=name), list(self._functions)
+
+
+def function_line_span(layout: FunctionLayout, program: Program) -> Tuple[int, int]:
+    """First and last cache line a function occupies (inclusive)."""
+    lines: List[int] = []
+    for block_id in layout.block_ids:
+        lines.extend(program.lines_of(block_id))
+    return min(lines), max(lines)
+
+
+def blocks_by_function(program: Program) -> Dict[int, List[int]]:
+    """Group block ids by their function id."""
+    groups: Dict[int, List[int]] = {}
+    for block in program:
+        groups.setdefault(block.function_id, []).append(block.block_id)
+    return groups

@@ -1,0 +1,130 @@
+"""Experiment-harness tests at a fast scale.
+
+These validate the harness machinery (caching, variant wiring, row
+schemas) and the coarse result *shape* on two applications; the full
+paper-shape assertions live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    AppEvaluation,
+    Evaluator,
+    ExperimentSettings,
+    fig01_frontend_bound,
+    fig10_speedup,
+    fig11_mpki,
+    fig13_accuracy,
+    fig14_static_footprint,
+    fig15_dynamic_footprint,
+    fig20_coalesce_profile,
+    headline_summary,
+    table1_system,
+)
+
+APPS = ["kafka", "finagle-http"]
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(ExperimentSettings.small())
+
+
+class TestEvaluatorMachinery:
+    def test_caches_evaluations(self, evaluator):
+        assert evaluator["kafka"] is evaluator["kafka"]
+
+    def test_unknown_app_rejected(self, evaluator):
+        with pytest.raises(KeyError):
+            evaluator["redis"]
+
+    def test_stats_cached(self, evaluator):
+        e = evaluator["kafka"]
+        assert e.stats_for("ispy") is e.stats_for("ispy")
+
+    def test_unknown_variant_rejected(self, evaluator):
+        with pytest.raises(KeyError):
+            evaluator["kafka"].stats_for("magic")
+
+    def test_profile_and_eval_traces_differ(self, evaluator):
+        e = evaluator["kafka"]
+        assert e.profile.block_ids != e.eval_trace.block_ids
+
+
+class TestOrderings:
+    def test_ideal_is_fastest(self, evaluator):
+        for name in APPS:
+            e = evaluator[name]
+            assert e.ideal_stats.cycles < e.stats_for("ispy").cycles
+            assert e.stats_for("ispy").cycles < e.baseline_stats.cycles
+
+    def test_prefetchers_cut_mpki_heavily(self, evaluator):
+        for name in APPS:
+            e = evaluator[name]
+            base = e.baseline_stats.l1i_mpki
+            assert e.stats_for("ispy").l1i_mpki < 0.4 * base
+            assert e.stats_for("asmdb").l1i_mpki < 0.4 * base
+
+    def test_ispy_dynamic_overhead_below_asmdb(self, evaluator):
+        for name in APPS:
+            e = evaluator[name]
+            assert (
+                e.stats_for("ispy").dynamic_overhead
+                <= e.stats_for("asmdb").dynamic_overhead
+            )
+
+    def test_ispy_static_below_asmdb(self, evaluator):
+        for name in APPS:
+            e = evaluator[name]
+            text = e.app.program.text_bytes
+            assert e.plan_for("ispy").static_increase(text) <= e.plan_for(
+                "asmdb"
+            ).static_increase(text)
+
+
+class TestFigureRows:
+    def test_fig01_schema(self, evaluator):
+        rows = fig01_frontend_bound(evaluator, apps=APPS)
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 < row["frontend_bound"] < 1.0
+
+    def test_fig10_schema(self, evaluator):
+        rows = fig10_speedup(evaluator, apps=APPS)
+        for row in rows:
+            assert row["ideal_speedup"] >= row["ispy_speedup"] > 1.0
+
+    def test_fig11_reductions(self, evaluator):
+        rows = fig11_mpki(evaluator, apps=APPS)
+        for row in rows:
+            assert row["ispy_reduction"] > 0.6
+
+    def test_fig13_accuracy_bounds(self, evaluator):
+        rows = fig13_accuracy(evaluator, apps=APPS)
+        for row in rows:
+            assert 0.0 < row["ispy_accuracy"] <= 1.0
+
+    def test_fig14_15_positive(self, evaluator):
+        for row in fig14_static_footprint(evaluator, apps=APPS):
+            assert row["ispy_static_increase"] > 0
+        for row in fig15_dynamic_footprint(evaluator, apps=APPS):
+            assert row["ispy_dynamic_increase"] > 0
+
+    def test_fig20_distributions_normalized(self, evaluator):
+        profile = fig20_coalesce_profile(evaluator, apps=APPS)
+        assert abs(sum(profile["lines_per_instruction"].values()) - 1.0) < 1e-9
+        assert 0.0 <= profile["fraction_below_4_lines"] <= 1.0
+
+    def test_headline_summary_keys(self, evaluator):
+        summary = headline_summary(evaluator, apps=APPS)
+        assert summary["mean_speedup"] > 0
+        assert 0 < summary["mean_mpki_reduction"] <= 1.0
+
+
+class TestTable1:
+    def test_table1_static(self):
+        rows = table1_system()
+        values = {row["parameter"]: row["value"] for row in rows}
+        assert values["L2 latency"] == "12 cycles"
+        assert values["Memory latency"] == "260 cycles"
+        assert values["Cores per socket"] == 20

@@ -1,0 +1,65 @@
+"""Machinery tests for the remaining figure functions (fast scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    Evaluator,
+    ExperimentSettings,
+    fig04_asmdb_footprint,
+    fig05_noncontiguous,
+    fig12_ablation,
+    fig20_coalesce_profile,
+)
+
+APPS = ["finagle-http"]
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return Evaluator(ExperimentSettings.small())
+
+
+class TestFig04Machinery:
+    def test_schema(self, evaluator):
+        rows = fig04_asmdb_footprint(evaluator, apps=APPS)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["static_increase"] > 0
+        assert row["dynamic_increase"] > 0
+
+
+class TestFig05Machinery:
+    def test_schema_and_consistency(self, evaluator):
+        rows = fig05_noncontiguous(evaluator, apps=APPS)
+        row = rows[0]
+        assert row["contiguous8_speedup"] > 1.0
+        assert row["noncontiguous8_speedup"] > 1.0
+        expected = (
+            row["noncontiguous8_speedup"] / row["contiguous8_speedup"] - 1.0
+        )
+        assert row["noncontiguous_advantage"] == pytest.approx(expected)
+
+    def test_window_prefetchers_reduce_misses(self, evaluator):
+        e = evaluator[APPS[0]]
+        base = e.baseline_stats
+        for variant in ("contiguous8", "noncontiguous8"):
+            assert e.stats_for(variant).l1i_misses < base.l1i_misses
+
+
+class TestFig12Machinery:
+    def test_arms_are_relative_to_asmdb(self, evaluator):
+        rows = fig12_ablation(evaluator, apps=APPS)
+        row = rows[0]
+        e = evaluator[APPS[0]]
+        asmdb = e.speedup("asmdb")
+        expected = e.speedup("ispy") / asmdb - 1.0
+        assert row["combined_over_asmdb"] == pytest.approx(expected)
+
+
+class TestFig20Machinery:
+    def test_empty_when_no_coalescing(self, evaluator):
+        profile = fig20_coalesce_profile(evaluator, apps=APPS)
+        # distributions are normalized (or empty) by construction
+        total = sum(profile["distance_distribution"].values())
+        assert total == pytest.approx(1.0) or total == 0.0
+        assert set(profile["distance_distribution"]) <= set(range(1, 9))

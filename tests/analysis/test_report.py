@@ -1,0 +1,38 @@
+"""Report-generation tests (fast scale, no sweeps)."""
+
+import pytest
+
+from repro.analysis.experiments import Evaluator, ExperimentSettings
+from repro.analysis.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    evaluator = Evaluator(ExperimentSettings.small())
+    return generate_report(
+        evaluator, include_sweeps=False, apps=["kafka", "finagle-http"]
+    )
+
+
+class TestGenerateReport:
+    def test_contains_headline_sections(self, report_text):
+        assert "# I-SPY reproduction report" in report_text
+        assert "Table I" in report_text
+        assert "Fig. 10" in report_text
+        assert "Headline summary" in report_text
+
+    def test_contains_app_rows(self, report_text):
+        assert "kafka" in report_text
+        assert "finagle-http" in report_text
+
+    def test_sweeps_skippable(self, report_text):
+        assert "Fig. 17" not in report_text
+        assert "Fig. 21" not in report_text
+
+    def test_write_report(self, tmp_path):
+        evaluator = Evaluator(ExperimentSettings.small())
+        target = write_report(
+            tmp_path / "r.md", evaluator, include_sweeps=False
+        )
+        assert target.exists()
+        assert "Headline summary" in target.read_text()

@@ -1,0 +1,74 @@
+"""AsmDB baseline tests."""
+
+import pytest
+
+from repro.baselines.asmdb import ASMDB_FANOUT_THRESHOLD, build_asmdb_plan
+from repro.core.config import ISpyConfig
+from repro.sim.cpu import simulate
+
+
+class TestPlanShape:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        small_app = request.getfixturevalue("small_app")
+        small_profile = request.getfixturevalue("small_profile")
+        return build_asmdb_plan(small_app.program, small_profile)
+
+    def test_default_threshold(self, result):
+        assert result.report.fanout_threshold == ASMDB_FANOUT_THRESHOLD == 0.99
+
+    def test_all_instructions_plain(self, result):
+        assert set(result.plan.kind_counts()) == {"prefetch"}
+
+    def test_single_line_targets(self, result):
+        assert all(len(i.target_lines()) == 1 for i in result.plan)
+
+    def test_covers_most_lines(self, result):
+        assert result.report.coverage > 0.8
+
+    def test_every_line_once(self, result):
+        lines = [i.base_line for i in result.plan]
+        assert len(lines) == len(set(lines))
+
+
+class TestThresholdBehavior:
+    def test_lower_threshold_lowers_coverage(self, small_app, small_profile):
+        strict = build_asmdb_plan(
+            small_app.program, small_profile, fanout_threshold=0.05
+        )
+        loose = build_asmdb_plan(
+            small_app.program, small_profile, fanout_threshold=0.99
+        )
+        assert strict.report.coverage <= loose.report.coverage
+        assert len(strict.plan) <= len(loose.plan)
+
+    def test_plan_name_records_threshold(self, small_app, small_profile):
+        result = build_asmdb_plan(
+            small_app.program, small_profile, fanout_threshold=0.5
+        )
+        assert "0.50" in result.plan.name
+
+
+class TestEndToEnd:
+    def test_asmdb_speeds_up(self, small_app, small_profile, small_eval_trace):
+        result = build_asmdb_plan(small_app.program, small_profile)
+        base = simulate(
+            small_app.program,
+            small_eval_trace,
+            warmup=4000,
+            data_traffic=small_app.data_traffic(seed=1),
+        )
+        asmdb = simulate(
+            small_app.program,
+            small_eval_trace,
+            plan=result.plan,
+            warmup=4000,
+            data_traffic=small_app.data_traffic(seed=1),
+        )
+        assert asmdb.cycles < base.cycles
+        assert asmdb.l1i_mpki < base.l1i_mpki
+
+    def test_custom_config_respected(self, small_app, small_profile):
+        config = ISpyConfig(min_miss_samples=10_000)
+        result = build_asmdb_plan(small_app.program, small_profile, config)
+        assert len(result.plan) == 0

@@ -1,0 +1,86 @@
+"""Dynamic-CFG data-structure tests."""
+
+from repro.cfg.graph import DynamicCFG
+
+
+def diamond_cfg():
+    """A -> {B, C} -> D with weights 3/1."""
+    cfg = DynamicCFG()
+    cfg.add_execution(0, 4)
+    cfg.add_execution(1, 3)
+    cfg.add_execution(2, 1)
+    cfg.add_execution(3, 4)
+    cfg.add_edge(0, 1, 3)
+    cfg.add_edge(0, 2, 1)
+    cfg.add_edge(1, 3, 3)
+    cfg.add_edge(2, 3, 1)
+    return cfg
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        cfg = diamond_cfg()
+        assert len(cfg) == 4
+        assert cfg.node(0).execution_count == 4
+
+    def test_edges(self):
+        cfg = diamond_cfg()
+        assert cfg.edge_count(0, 1) == 3
+        assert cfg.edge_count(0, 2) == 1
+        assert cfg.edge_count(1, 0) == 0
+
+    def test_successors_predecessors(self):
+        cfg = diamond_cfg()
+        assert dict(cfg.successors(0)) == {1: 3, 2: 1}
+        assert dict(cfg.predecessors(3)) == {1: 3, 2: 1}
+
+    def test_total_edge_weight(self):
+        assert diamond_cfg().total_edge_weight() == 8
+
+    def test_edge_creates_nodes(self):
+        cfg = DynamicCFG()
+        cfg.add_edge(10, 11)
+        assert 10 in cfg and 11 in cfg
+
+
+class TestMissAnnotation:
+    def test_miss_counting(self):
+        cfg = diamond_cfg()
+        cfg.add_miss(3, line=77)
+        cfg.add_miss(3, line=77)
+        cfg.add_miss(3, line=78)
+        node = cfg.node(3)
+        assert node.miss_count == 3
+        assert node.miss_lines == {77: 2, 78: 1}
+
+    def test_miss_blocks_sorted(self):
+        cfg = diamond_cfg()
+        cfg.add_miss(1, 5)
+        cfg.add_miss(3, 6, count=4)
+        blocks = cfg.miss_blocks()
+        assert [n.block_id for n in blocks] == [3, 1]
+
+
+class TestReachability:
+    def test_reachable_from_entry(self):
+        cfg = diamond_cfg()
+        assert cfg.reachable_from(0) == {1, 2, 3}
+
+    def test_reachable_with_hop_limit(self):
+        cfg = diamond_cfg()
+        assert cfg.reachable_from(0, max_hops=1) == {1, 2}
+
+    def test_sink_reaches_nothing(self):
+        cfg = diamond_cfg()
+        assert cfg.reachable_from(3) == set()
+
+
+class TestNetworkxExport:
+    def test_export_round_trip(self):
+        cfg = diamond_cfg()
+        cfg.add_miss(3, 77)
+        graph = cfg.to_networkx()
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph[0][1]["weight"] == 3
+        assert graph.nodes[3]["misses"] == 1

@@ -1,0 +1,78 @@
+"""DOT-rendering tests."""
+
+from repro.cfg.graph import DynamicCFG
+from repro.cfg.render import to_dot, write_dot
+
+
+def sample_cfg():
+    cfg = DynamicCFG()
+    cfg.add_edge(0, 1, 5)
+    cfg.add_edge(0, 2, 3)
+    cfg.add_edge(1, 3, 5)
+    cfg.add_edge(2, 3, 3)
+    for block, count in ((0, 8), (1, 5), (2, 3), (3, 8)):
+        cfg.add_execution(block, count)
+    cfg.add_miss(3, line=77, count=4)
+    return cfg
+
+
+class TestToDot:
+    def test_valid_digraph_structure(self):
+        dot = to_dot(sample_cfg())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 4
+
+    def test_nodes_carry_counts(self):
+        dot = to_dot(sample_cfg())
+        assert "exec=8" in dot
+        assert "miss=4" in dot
+
+    def test_edge_labels(self):
+        dot = to_dot(sample_cfg())
+        assert 'n0 -> n1 [label="5"]' in dot
+
+    def test_highlighting(self):
+        dot = to_dot(
+            sample_cfg(),
+            miss_block=3,
+            injection_site=0,
+            context_blocks=(1,),
+        )
+        assert "#f4cccc" in dot  # miss block red
+        assert "#cfe2f3" in dot  # injection site blue
+        assert "#d9ead3" in dot  # context green
+
+    def test_custom_labels(self):
+        dot = to_dot(sample_cfg(), block_labels={0: "Entry"})
+        assert "Entry" in dot
+
+    def test_max_nodes_prunes(self):
+        cfg = DynamicCFG()
+        for block in range(50):
+            cfg.add_execution(block, 50 - block)
+            if block:
+                cfg.add_edge(block - 1, block)
+        dot = to_dot(cfg, max_nodes=5)
+        assert dot.count("[label=") <= 5 + 4  # nodes + surviving edges
+        assert "n0 " in dot      # hottest kept
+        assert "n49 " not in dot  # coldest pruned
+
+    def test_min_edge_count_filters(self):
+        dot = to_dot(sample_cfg(), min_edge_count=4)
+        assert 'label="3"' not in dot
+
+    def test_quote_escaping(self):
+        dot = to_dot(sample_cfg(), block_labels={0: 'say "hi"'})
+        assert '\\"hi\\"' in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "cfg.dot"
+        write_dot(sample_cfg(), path, name="test")
+        assert path.read_text().startswith('digraph "test"')
+
+    def test_real_profile_renders(self, small_profile):
+        from repro.cfg.builder import build_dynamic_cfg
+
+        dot = to_dot(build_dynamic_cfg(small_profile), max_nodes=50)
+        assert dot.count("\n") > 20

@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic programs, traces and apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling.profiler import profile_execution
+from repro.sim.trace import BlockInfo, BlockTrace, Program
+from repro.workloads.apps import build_app
+
+
+def make_program(block_sizes, base_address=0x400000, name="test-program"):
+    """A program with the given per-block byte sizes, laid out
+    contiguously from *base_address*."""
+    blocks = []
+    address = base_address
+    for block_id, size in enumerate(block_sizes):
+        blocks.append(
+            BlockInfo(
+                block_id=block_id,
+                address=address,
+                size_bytes=size,
+                instruction_count=max(1, size // 4),
+            )
+        )
+        address += size
+    return Program(blocks, name=name)
+
+
+@pytest.fixture
+def tiny_program():
+    """Four 64-byte blocks, one cache line each."""
+    return make_program([64, 64, 64, 64])
+
+
+@pytest.fixture
+def tiny_trace():
+    return BlockTrace([0, 1, 2, 3, 0, 1, 2, 3])
+
+
+@pytest.fixture(scope="session")
+def small_app():
+    """A scaled-down wordpress: big enough to miss, small enough to
+    profile in well under a second."""
+    return build_app("wordpress", scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_app):
+    trace = small_app.trace(20_000)
+    return profile_execution(
+        small_app.program, trace, data_traffic=small_app.data_traffic()
+    )
+
+
+@pytest.fixture(scope="session")
+def small_eval_trace(small_app):
+    return small_app.trace(24_000, seed=small_app.spec.seed + 31337)

@@ -1,0 +1,57 @@
+"""Statistical false-positive behaviour of the runtime-hash.
+
+Fig. 21's mechanism: with a fixed 32-entry history, a wider context
+hash leaves more zero bits, so a context absent from the history is
+less likely to pass the subset test by collision.  These tests verify
+the *mechanism* statistically, independent of any workload.
+"""
+
+import random
+
+from repro.core.bloom import LBRRuntimeHash
+from repro.core.hashing import bit_position_table, context_mask
+
+
+def measure_fp_rate(hash_bits, n_blocks=4000, history_len=32,
+                    context_size=4, trials=300, seed=7):
+    """Empirical P(subset test passes | context disjoint from history)."""
+    rng = random.Random(seed)
+    addresses = {i: 0x400000 + 64 * i for i in range(n_blocks)}
+    table = bit_position_table(addresses, hash_bits)
+    false_positives = 0
+    for _ in range(trials):
+        blocks = rng.sample(range(n_blocks), history_len + context_size)
+        history, context = blocks[:history_len], blocks[history_len:]
+        runtime = LBRRuntimeHash(table, hash_bits=hash_bits, depth=history_len)
+        for block in history:
+            runtime.push(block)
+        mask = context_mask((addresses[b] for b in context), hash_bits)
+        if runtime.matches(mask):
+            false_positives += 1
+    return false_positives / trials
+
+
+class TestSaturation:
+    def test_fp_rate_falls_with_hash_width(self):
+        narrow = measure_fp_rate(8)
+        paper_width = measure_fp_rate(16)
+        wide = measure_fp_rate(64)
+        assert narrow >= paper_width >= wide
+        assert narrow - wide > 0.3
+
+    def test_wide_hash_mostly_rejects(self):
+        assert measure_fp_rate(256) < 0.05
+
+    def test_tiny_hash_always_fires(self):
+        # 2 bits against 32 pushed blocks: fully saturated
+        assert measure_fp_rate(2) > 0.95
+
+    def test_larger_contexts_are_more_selective(self):
+        loose = measure_fp_rate(16, context_size=1)
+        strict = measure_fp_rate(16, context_size=6)
+        assert strict < loose
+
+    def test_shallower_history_is_more_selective(self):
+        deep = measure_fp_rate(16, history_len=32)
+        shallow = measure_fp_rate(16, history_len=8)
+        assert shallow < deep

@@ -1,0 +1,162 @@
+"""Prefetch-coalescing tests (paper Fig. 8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalesce import (
+    PlannedPrefetch,
+    coalesce_prefetches,
+    passthrough_groups,
+)
+
+
+def planned(site, line, context=()):
+    return PlannedPrefetch(site=site, line=line, context=context, covers=(line,))
+
+
+class TestGrouping:
+    def test_same_site_same_context_merges(self):
+        groups, stats = coalesce_prefetches(
+            [planned(1, 100), planned(1, 102)], coalesce_bits=8
+        )
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.base_line == 100
+        assert group.bit_vector == 0b10
+        assert group.member_lines == (100, 102)
+        assert stats.merged_prefetches == 1
+
+    def test_figure8_example(self):
+        """Addresses 0xA,0xD share context C0; 0x4,0x2,0x7 share C1."""
+        c0, c1 = (10,), (20,)
+        records = [
+            planned(1, 0xA, c0),
+            planned(1, 0xD, c0),
+            planned(1, 0x4, c1),
+            planned(1, 0x2, c1),
+            planned(1, 0x7, c1),
+        ]
+        groups, _ = coalesce_prefetches(records, coalesce_bits=8)
+        by_context = {g.context: g for g in groups}
+        assert len(groups) == 2
+        g0 = by_context[c0]
+        assert g0.base_line == 0xA and g0.bit_vector == 1 << (0xD - 0xA - 1)
+        g1 = by_context[c1]
+        assert g1.base_line == 0x2
+        assert g1.bit_vector == (1 << (0x4 - 0x2 - 1)) | (1 << (0x7 - 0x2 - 1))
+
+    def test_different_contexts_not_merged(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100, (5,)), planned(1, 101, (6,))], coalesce_bits=8
+        )
+        assert len(groups) == 2
+
+    def test_different_sites_not_merged(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100), planned(2, 101)], coalesce_bits=8
+        )
+        assert len(groups) == 2
+
+    def test_window_limit_respected(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100), planned(1, 109)], coalesce_bits=8
+        )
+        assert len(groups) == 2  # distance 9 > 8
+
+    def test_line_at_window_edge_included(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100), planned(1, 108)], coalesce_bits=8
+        )
+        assert len(groups) == 1
+
+    def test_duplicate_lines_collapse(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100), planned(1, 100)], coalesce_bits=8
+        )
+        assert len(groups) == 1
+        assert groups[0].bit_vector == 0
+
+    def test_covers_union(self):
+        groups, _ = coalesce_prefetches(
+            [planned(1, 100), planned(1, 103)], coalesce_bits=8
+        )
+        assert groups[0].covers == (100, 103)
+
+
+class TestStats:
+    def test_distance_histogram(self):
+        _, stats = coalesce_prefetches(
+            [planned(1, 100), planned(1, 101), planned(1, 105)],
+            coalesce_bits=8,
+        )
+        assert stats.distance_histogram == {1: 1, 5: 1}
+
+    def test_lines_per_instruction(self):
+        _, stats = coalesce_prefetches(
+            [planned(1, 100), planned(1, 101), planned(2, 50)],
+            coalesce_bits=8,
+        )
+        assert stats.lines_per_instruction == {2: 1, 1: 1}
+
+    def test_fraction_below(self):
+        _, stats = coalesce_prefetches(
+            [planned(1, 100), planned(1, 101), planned(2, 50)],
+            coalesce_bits=8,
+        )
+        assert stats.fraction_below(4) == 1.0
+        assert stats.fraction_below(2) == 0.5
+
+    def test_distance_distribution_normalized(self):
+        _, stats = coalesce_prefetches(
+            [planned(1, 100), planned(1, 101), planned(1, 105)],
+            coalesce_bits=8,
+        )
+        assert abs(sum(stats.distance_distribution().values()) - 1.0) < 1e-12
+
+
+class TestPassthrough:
+    def test_one_group_per_record(self):
+        records = [planned(1, 100), planned(1, 101)]
+        groups = passthrough_groups(records)
+        assert len(groups) == 2
+        assert all(g.bit_vector == 0 for g in groups)
+
+
+class TestProperties:
+    @given(
+        lines=st.lists(st.integers(0, 200), min_size=1, max_size=40),
+        bits=st.integers(1, 16),
+    )
+    @settings(max_examples=80)
+    def test_members_exactly_cover_inputs(self, lines, bits):
+        records = [planned(1, line) for line in lines]
+        groups, _ = coalesce_prefetches(records, coalesce_bits=bits)
+        members = sorted(m for g in groups for m in g.member_lines)
+        assert members == sorted(set(lines))
+
+    @given(
+        lines=st.lists(st.integers(0, 200), min_size=1, max_size=40),
+        bits=st.integers(1, 16),
+    )
+    @settings(max_examples=80)
+    def test_bit_vectors_fit_and_match_members(self, lines, bits):
+        records = [planned(1, line) for line in lines]
+        groups, _ = coalesce_prefetches(records, coalesce_bits=bits)
+        for group in groups:
+            assert group.bit_vector < (1 << bits)
+            decoded = [group.base_line]
+            vector, offset = group.bit_vector, 1
+            while vector:
+                if vector & 1:
+                    decoded.append(group.base_line + offset)
+                vector >>= 1
+                offset += 1
+            assert tuple(decoded) == group.member_lines
+
+    @given(lines=st.lists(st.integers(0, 100), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_wider_windows_never_emit_more_instructions(self, lines):
+        records = [planned(1, line) for line in lines]
+        narrow, _ = coalesce_prefetches(records, coalesce_bits=1)
+        wide, _ = coalesce_prefetches(records, coalesce_bits=16)
+        assert len(wide) <= len(narrow)

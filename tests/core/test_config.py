@@ -1,0 +1,70 @@
+"""ISpyConfig validation and variant tests."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, ISpyConfig
+
+
+class TestPaperDefaults:
+    def test_prefetch_window(self):
+        assert DEFAULT_CONFIG.min_prefetch_distance == 27.0
+        assert DEFAULT_CONFIG.max_prefetch_distance == 200.0
+
+    def test_context_parameters(self):
+        assert DEFAULT_CONFIG.max_predecessors == 4
+        assert DEFAULT_CONFIG.context_hash_bits == 16
+        assert DEFAULT_CONFIG.lbr_depth == 32
+
+    def test_coalescing_width(self):
+        assert DEFAULT_CONFIG.coalesce_bits == 8
+
+    def test_both_features_on(self):
+        assert DEFAULT_CONFIG.enable_conditional
+        assert DEFAULT_CONFIG.enable_coalescing
+
+
+class TestVariants:
+    def test_conditional_only(self):
+        config = DEFAULT_CONFIG.conditional_only()
+        assert config.enable_conditional and not config.enable_coalescing
+
+    def test_coalescing_only(self):
+        config = DEFAULT_CONFIG.coalescing_only()
+        assert config.enable_coalescing and not config.enable_conditional
+
+    def test_with_window(self):
+        config = DEFAULT_CONFIG.with_window(10, 100)
+        assert config.min_prefetch_distance == 10
+        assert config.max_prefetch_distance == 100
+
+    def test_variants_do_not_mutate_original(self):
+        DEFAULT_CONFIG.conditional_only()
+        assert DEFAULT_CONFIG.enable_coalescing
+
+
+class TestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(min_prefetch_distance=100, max_prefetch_distance=50)
+
+    def test_negative_min_rejected(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(min_prefetch_distance=-1)
+
+    def test_zero_predecessors_rejected(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(max_predecessors=0)
+
+    def test_pool_smaller_than_predecessors_rejected(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(max_predecessors=8, predictor_pool_size=4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(context_hash_bits=0)
+        with pytest.raises(ValueError):
+            ISpyConfig(coalesce_bits=0)
+
+    def test_fanout_threshold_range(self):
+        with pytest.raises(ValueError):
+            ISpyConfig(conditional_fanout_threshold=1.5)

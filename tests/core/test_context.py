@@ -1,0 +1,167 @@
+"""Miss-context discovery tests on hand-built profiles (Fig. 6)."""
+
+from collections import Counter
+
+from repro.core.config import ISpyConfig
+from repro.core.context import ContextResult, discover_context
+from repro.profiling.pebs import MissSample
+from repro.profiling.profiler import ExecutionProfile
+
+MISS_BLOCK = 90
+MISS_LINE = 999
+
+
+def build_profile(units, cycles_per_block=4.0):
+    """Assemble an ExecutionProfile from repeating block sequences.
+
+    ``units`` is a list of block-id lists; they are concatenated in
+    order.  Every execution of ``MISS_BLOCK`` is recorded as a sampled
+    miss of ``MISS_LINE``.
+    """
+    block_ids = [b for unit in units for b in unit]
+    block_cycles = [i * cycles_per_block for i in range(len(block_ids))]
+    samples = [
+        MissSample(i, MISS_BLOCK, MISS_LINE, block_cycles[i])
+        for i, b in enumerate(block_ids)
+        if b == MISS_BLOCK
+    ]
+    cumulative = list(range(0, 4 * len(block_ids), 4))
+    return ExecutionProfile(
+        program_name="synthetic",
+        block_ids=block_ids,
+        block_cycles=block_cycles,
+        miss_samples=samples,
+        edge_counts=Counter(zip(block_ids, block_ids[1:])),
+        block_counts=Counter(block_ids),
+        cumulative_instructions=cumulative,
+    )
+
+
+def context_config(**overrides):
+    defaults = dict(
+        min_prefetch_distance=0.0,
+        max_prefetch_distance=40.0,
+        min_context_support=3,
+        min_context_probability=0.5,
+        min_context_recall=0.5,
+        min_context_gain=0.05,
+    )
+    defaults.update(overrides)
+    return ISpyConfig(**defaults)
+
+
+SITE = 50
+PREDICTOR = 7
+OTHER = 8
+
+#: Filler blocks shared by every unit: they appear in all LBR windows,
+#: so they carry no information about the upcoming miss.
+FILLER = list(range(100, 131))  # 31 blocks
+
+
+def unit(markers, tail):
+    """One request: markers, filler padding, the site, then the tail.
+
+    The filler is sized so the 32-deep LBR window at SITE contains
+    exactly this unit's markers and nothing from the previous unit.
+    """
+    markers = list(markers)
+    padding = FILLER[: 32 - len(markers)]
+    return markers + padding + [SITE, 2, tail]
+
+
+def predictive_units(repeats=20):
+    """PREDICTOR before SITE => miss follows; OTHER => no miss."""
+    units = []
+    for index in range(repeats):
+        if index % 2 == 0:
+            units.append(unit([PREDICTOR], MISS_BLOCK))
+        else:
+            units.append(unit([OTHER], 3))
+    return units
+
+
+class TestDiscovery:
+    def test_finds_the_predictive_block(self):
+        profile = build_profile(predictive_units())
+        result = discover_context(profile, SITE, MISS_LINE, context_config())
+        assert result is not None
+        assert PREDICTOR in result.blocks
+        assert result.probability == 1.0
+        assert result.recall == 1.0
+
+    def test_base_probability_reported(self):
+        profile = build_profile(predictive_units())
+        result = discover_context(profile, SITE, MISS_LINE, context_config())
+        assert 0.4 <= result.base_probability <= 0.6
+        assert result.gain > 0.3
+
+    def test_uninformative_history_returns_none(self):
+        # miss follows every execution of SITE: no context beats base
+        units = [unit([PREDICTOR], MISS_BLOCK)] * 10
+        profile = build_profile(units)
+        result = discover_context(profile, SITE, MISS_LINE, context_config())
+        assert result is None  # gain gate: base probability is already 1
+
+    def test_no_misses_returns_none(self):
+        units = [unit([PREDICTOR], 3)] * 10
+        profile = build_profile(units)
+        assert discover_context(profile, SITE, MISS_LINE, context_config()) is None
+
+    def test_support_gate(self):
+        profile = build_profile(predictive_units(repeats=4))
+        config = context_config(min_context_support=50)
+        assert discover_context(profile, SITE, MISS_LINE, config) is None
+
+    def test_probability_gate(self):
+        # PREDICTOR leads to a miss only 50% of the time it appears
+        units = []
+        for index in range(40):
+            tail = MISS_BLOCK if index % 4 == 0 else 3
+            units.append(unit([PREDICTOR], tail))
+        profile = build_profile(units)
+        config = context_config(min_context_probability=0.9)
+        assert discover_context(profile, SITE, MISS_LINE, config) is None
+
+    def test_multi_block_context(self):
+        """Miss requires BOTH predictors in history."""
+        a, b = 7, 9
+        units = []
+        for index in range(40):
+            mode = index % 4
+            if mode == 0:
+                units.append(unit([a, b], MISS_BLOCK))
+            elif mode == 1:
+                units.append(unit([a, 4], 3))
+            elif mode == 2:
+                units.append(unit([5, b], 3))
+            else:
+                units.append(unit([5, 4], 3))
+        profile = build_profile(units)
+        result = discover_context(
+            profile, SITE, MISS_LINE, context_config(min_context_recall=0.9)
+        )
+        assert result is not None
+        assert set(result.blocks) == {a, b}
+        assert result.probability == 1.0
+
+    def test_site_itself_never_a_predictor(self):
+        profile = build_profile(predictive_units())
+        result = discover_context(profile, SITE, MISS_LINE, context_config())
+        assert SITE not in result.blocks
+
+    def test_context_size_capped(self):
+        profile = build_profile(predictive_units())
+        config = context_config(max_predecessors=1, predictor_pool_size=8)
+        result = discover_context(profile, SITE, MISS_LINE, config)
+        assert result is not None
+        assert len(result.blocks) == 1
+
+
+class TestContextResult:
+    def test_gain_property(self):
+        result = ContextResult(
+            blocks=(1,), probability=0.8, support=10, recall=0.9,
+            base_probability=0.3,
+        )
+        assert abs(result.gain - 0.5) < 1e-12

@@ -1,0 +1,108 @@
+"""Distance-estimator divergence tests (I-SPY cycles vs AsmDB IPC).
+
+The paper's Section IV point: AsmDB converts instruction counts into
+cycles with a whole-program average IPC, which mis-sizes the prefetch
+window wherever local IPC diverges from the average.  These tests
+build profiles with deliberately non-uniform timing and show the two
+estimators disagree exactly there.
+"""
+
+from collections import Counter
+
+from repro.cfg.fanout import sites_in_window
+from repro.profiling.pebs import MissSample
+from repro.profiling.profiler import ExecutionProfile
+
+
+def make_profile(block_cycles, instr_per_block=4):
+    """A linear trace 0..N-1 with explicit per-index start cycles."""
+    n = len(block_cycles)
+    block_ids = list(range(n))
+    samples = [MissSample(n - 1, n - 1, 999, block_cycles[-1])]
+    return ExecutionProfile(
+        program_name="synthetic",
+        block_ids=block_ids,
+        block_cycles=list(block_cycles),
+        miss_samples=samples,
+        edge_counts=Counter(zip(block_ids, block_ids[1:])),
+        block_counts=Counter(block_ids),
+        cumulative_instructions=[i * instr_per_block for i in range(n)],
+    )
+
+
+class TestEstimatorDivergence:
+    def test_stall_cluster_shifts_ipc_window(self):
+        """Blocks 0..9 run fast (2 cy each); block 10 stalls 200
+        cycles; blocks 11..19 run fast again, then the miss.
+
+        In real cycles, the fast blocks after the stall are within a
+        tight window of the miss.  The IPC estimator spreads the
+        stall evenly over all instructions, so it believes those same
+        blocks are much *farther* away than they are.
+        """
+        cycles = []
+        now = 0.0
+        for index in range(20):
+            cycles.append(now)
+            now += 200.0 if index == 10 else 2.0
+        profile = make_profile(cycles)
+        miss_index = 19
+
+        exact = dict(
+            sites_in_window(profile, miss_index, 0.0, 30.0, estimator="cycles")
+        )
+        estimated = dict(
+            sites_in_window(profile, miss_index, 0.0, 30.0, estimator="ipc")
+        )
+        # exact: blocks 11..18 are within 16 cycles of the miss
+        assert 12 in exact
+        # average CPI here is ~(236/76) ≈ 3.1 cycles/instr, so the
+        # IPC estimate holds ~2 blocks in a 30-cycle window
+        assert len(estimated) < len(exact)
+
+    def test_uniform_timing_estimators_agree(self):
+        cycles = [2.0 * i for i in range(30)]
+        profile = make_profile(cycles)
+        exact = sites_in_window(profile, 29, 4.0, 20.0, estimator="cycles")
+        estimated = sites_in_window(profile, 29, 4.0, 20.0, estimator="ipc")
+        assert [b for b, _ in exact] == [b for b, _ in estimated]
+
+    def test_average_cpi_without_baseline_stats(self):
+        cycles = [3.0 * i for i in range(10)]
+        profile = make_profile(cycles, instr_per_block=4)
+        # 27 cycles over 36 instructions
+        assert abs(profile.average_cpi - 27.0 / 36.0) < 1e-9
+
+    def test_estimated_distance_formula(self):
+        cycles = [3.0 * i for i in range(10)]
+        profile = make_profile(cycles, instr_per_block=4)
+        expected = 8 * profile.average_cpi  # 2 blocks x 4 instrs
+        assert abs(profile.estimated_cycle_distance(3, 5) - expected) < 1e-9
+
+
+class TestEndToEndEstimatorEffect:
+    def test_asmdb_sites_differ_from_ispy_sites(self, small_app, small_profile):
+        """On a real profile with stall-dependent timing, the two
+        estimators must disagree on at least some injection sites."""
+        from repro.core.config import DEFAULT_CONFIG
+        from repro.core.injection import frequent_miss_lines, select_site
+
+        differing = 0
+        lines = [
+            line
+            for line, _ in frequent_miss_lines(small_profile, DEFAULT_CONFIG)
+        ][:40]
+        for line in lines:
+            exact = select_site(
+                small_profile, line, DEFAULT_CONFIG,
+                distance_estimator="cycles",
+            )
+            estimated = select_site(
+                small_profile, line, DEFAULT_CONFIG,
+                distance_estimator="ipc",
+            )
+            a = exact.chosen.block_id if exact.chosen else None
+            b = estimated.chosen.block_id if estimated.chosen else None
+            if a != b:
+                differing += 1
+        assert differing > 0

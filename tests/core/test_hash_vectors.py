@@ -1,0 +1,50 @@
+"""Published reference vectors for FNV-1 64 and MurmurHash3 x86-32.
+
+The context-hash encoding must match the real algorithms bit for bit
+— a reimplementation that silently diverged would still "work" but
+would no longer be the paper's hardware.
+"""
+
+import pytest
+
+from repro.core.hashing import fnv1_64, murmur3_32
+
+# FNV-1 (64-bit) vectors from the reference implementation's test
+# suite (Fowler/Noll/Vo).
+FNV1_64_VECTORS = [
+    (b"", 0xCBF29CE484222325),
+    (b"a", 0xAF63BD4C8601B7BE),
+    (b"b", 0xAF63BD4C8601B7BD),
+    (b"c", 0xAF63BD4C8601B7BC),
+    (b"foo", 0xD8CBC7186BA13533),
+    (b"foob", 0x0378817EE2ED65CB),
+    (b"fooba", 0xD329D59B9963F790),
+    (b"foobar", 0x340D8765A4DDA9C2),
+]
+
+# MurmurHash3 x86 32-bit vectors (public reference values).
+MURMUR3_VECTORS = [
+    (b"", 0x00000000, 0),
+    (b"", 0x514E28B7, 1),
+    (b"", 0x81F16F39, 0xFFFFFFFF),
+    (b"test", 0xBA6BD213, 0),
+    (b"test", 0x704B81DC, 0x9747B28C),
+    (b"Hello, world!", 0x24884CBA, 0x9747B28C),
+    (b"The quick brown fox jumps over the lazy dog", 0x2FA826CD, 0x9747B28C),
+    (b"aaaa", 0x5A97808A, 0x9747B28C),
+    (b"aaa", 0x283E0130, 0x9747B28C),
+    (b"aa", 0x5D211726, 0x9747B28C),
+    (b"a", 0x7FA09EA6, 0x9747B28C),
+]
+
+
+class TestFNV1Vectors:
+    @pytest.mark.parametrize("data,expected", FNV1_64_VECTORS)
+    def test_reference_vector(self, data, expected):
+        assert fnv1_64(data) == expected
+
+
+class TestMurmur3Vectors:
+    @pytest.mark.parametrize("data,expected,seed", MURMUR3_VECTORS)
+    def test_reference_vector(self, data, expected, seed):
+        assert murmur3_32(data, seed=seed) == expected

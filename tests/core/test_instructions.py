@@ -1,0 +1,146 @@
+"""Prefetch-instruction family and plan tests (paper Section III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instructions import (
+    BASE_PREFETCH_BYTES,
+    PrefetchInstr,
+    PrefetchPlan,
+    empty_plan,
+)
+
+
+class TestKinds:
+    def test_plain(self):
+        instr = PrefetchInstr(site_block=1, base_line=10)
+        assert instr.kind == "prefetch"
+        assert not instr.is_conditional and not instr.is_coalesced
+
+    def test_cprefetch(self):
+        instr = PrefetchInstr(site_block=1, base_line=10, context_mask=0x12)
+        assert instr.kind == "Cprefetch"
+
+    def test_lprefetch(self):
+        instr = PrefetchInstr(site_block=1, base_line=10, bit_vector=0b1)
+        assert instr.kind == "Lprefetch"
+
+    def test_clprefetch(self):
+        instr = PrefetchInstr(
+            site_block=1, base_line=10, bit_vector=0b1, context_mask=0x12
+        )
+        assert instr.kind == "CLprefetch"
+
+
+class TestEncodedSizes:
+    def test_plain_is_7_bytes(self):
+        assert PrefetchInstr(site_block=1, base_line=10).size_bytes == 7
+
+    def test_lprefetch_8_bit_vector_is_8_bytes(self):
+        instr = PrefetchInstr(site_block=1, base_line=10, bit_vector=1)
+        assert instr.size_bytes == 8  # paper Section III-B
+
+    def test_cprefetch_16_bit_hash_is_9_bytes(self):
+        instr = PrefetchInstr(site_block=1, base_line=10, context_mask=1)
+        assert instr.size_bytes == 9
+
+    def test_clprefetch_is_10_bytes(self):
+        instr = PrefetchInstr(
+            site_block=1, base_line=10, context_mask=1, bit_vector=1
+        )
+        assert instr.size_bytes == 10
+
+    def test_wider_hash_costs_more(self):
+        narrow = PrefetchInstr(
+            site_block=1, base_line=10, context_mask=1, context_hash_bits=8
+        )
+        wide = PrefetchInstr(
+            site_block=1, base_line=10, context_mask=1, context_hash_bits=64
+        )
+        assert narrow.size_bytes == BASE_PREFETCH_BYTES + 1
+        assert wide.size_bytes == BASE_PREFETCH_BYTES + 8
+
+
+class TestTargetLines:
+    def test_single_line(self):
+        instr = PrefetchInstr(site_block=1, base_line=100)
+        assert instr.target_lines() == (100,)
+
+    def test_bit_vector_expansion(self):
+        instr = PrefetchInstr(site_block=1, base_line=100, bit_vector=0b10110)
+        assert instr.target_lines() == (100, 102, 103, 105)
+
+    def test_full_vector_brings_nine_lines(self):
+        instr = PrefetchInstr(site_block=1, base_line=0, bit_vector=0xFF)
+        assert len(instr.target_lines()) == 9  # paper: up to 9 lines
+
+    @given(vector=st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_line_count_is_popcount_plus_one(self, vector):
+        instr = PrefetchInstr(site_block=1, base_line=0, bit_vector=vector)
+        assert len(instr.target_lines()) == bin(vector).count("1") + 1
+
+
+class TestValidation:
+    def test_vector_must_fit(self):
+        with pytest.raises(ValueError):
+            PrefetchInstr(site_block=1, base_line=0, bit_vector=1 << 8)
+
+    def test_negative_vector_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchInstr(site_block=1, base_line=0, bit_vector=-1)
+
+    def test_mask_must_fit_hash_bits(self):
+        with pytest.raises(ValueError):
+            PrefetchInstr(
+                site_block=1, base_line=0, context_mask=1 << 16
+            )
+
+
+class TestPlan:
+    def test_add_and_lookup(self):
+        plan = PrefetchPlan()
+        instr = PrefetchInstr(site_block=5, base_line=10)
+        plan.add(instr)
+        assert plan.at_site(5) == (instr,)
+        assert plan.at_site(6) == ()
+
+    def test_len_and_iter(self):
+        plan = PrefetchPlan()
+        plan.extend(
+            PrefetchInstr(site_block=s, base_line=10 + s) for s in range(4)
+        )
+        assert len(plan) == 4
+        assert len(list(plan)) == 4
+        assert set(plan.sites()) == {0, 1, 2, 3}
+
+    def test_static_bytes(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=10))          # 7
+        plan.add(PrefetchInstr(site_block=1, base_line=20, bit_vector=1))  # 8
+        assert plan.static_bytes == 15
+
+    def test_static_increase(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=10))
+        assert plan.static_increase(700) == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            plan.static_increase(0)
+
+    def test_kind_counts(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=10))
+        plan.add(PrefetchInstr(site_block=1, base_line=20, context_mask=1))
+        counts = plan.kind_counts()
+        assert counts == {"prefetch": 1, "Cprefetch": 1}
+
+    def test_covered_lines(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=10, bit_vector=0b1))
+        assert plan.covered_lines() == (10, 11)
+
+    def test_empty_plan(self):
+        plan = empty_plan()
+        assert len(plan) == 0
+        assert plan.static_bytes == 0

@@ -1,0 +1,91 @@
+"""Prefetch-plan validation tests."""
+
+import pytest
+
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
+from repro.core.validate import PlanIssue, assert_valid, validate_plan
+
+from ..conftest import make_program
+
+
+@pytest.fixture()
+def program():
+    return make_program([64] * 8)
+
+
+def plan_with(*instrs):
+    plan = PrefetchPlan()
+    plan.extend(instrs)
+    return plan
+
+
+class TestCleanPlans:
+    def test_empty_plan_is_clean(self, program):
+        assert validate_plan(PrefetchPlan(), program) == []
+
+    def test_well_formed_plan_is_clean(self, program):
+        target = program.block(5).lines[0]
+        plan = plan_with(PrefetchInstr(site_block=0, base_line=target))
+        assert validate_plan(plan, program) == []
+        assert_valid(plan, program)  # no raise
+
+    def test_real_ispy_plan_is_clean(self, small_app, small_profile):
+        from repro.core.ispy import build_ispy_plan
+
+        result = build_ispy_plan(small_app.program, small_profile)
+        errors = validate_plan(
+            result.plan, small_app.program, errors_only=True
+        )
+        assert errors == []
+
+
+class TestErrors:
+    def test_unknown_site(self, program):
+        plan = plan_with(PrefetchInstr(site_block=99, base_line=1))
+        issues = validate_plan(plan, program)
+        assert any(i.kind == "unknown-site" for i in issues)
+        with pytest.raises(ValueError):
+            assert_valid(plan, program)
+
+    def test_line_outside_text(self, program):
+        plan = plan_with(PrefetchInstr(site_block=0, base_line=10**9))
+        issues = validate_plan(plan, program)
+        assert any(i.kind == "line-outside-text" for i in issues)
+
+    def test_coalesced_reaching_past_text_is_fine(self, program):
+        last_line = max(program.block(7).lines)
+        plan = plan_with(
+            PrefetchInstr(site_block=0, base_line=last_line, bit_vector=0xFF)
+        )
+        errors = validate_plan(plan, program, errors_only=True)
+        assert errors == []
+
+
+class TestWarnings:
+    def test_duplicate_instruction(self, program):
+        target = program.block(5).lines[0]
+        plan = plan_with(
+            PrefetchInstr(site_block=0, base_line=target),
+            PrefetchInstr(site_block=0, base_line=target),
+        )
+        issues = validate_plan(plan, program)
+        assert any(i.kind == "duplicate-instruction" for i in issues)
+        # warnings do not trip assert_valid
+        assert_valid(plan, program)
+
+    def test_self_prefetch(self, program):
+        own_line = program.block(0).lines[0]
+        plan = plan_with(PrefetchInstr(site_block=0, base_line=own_line))
+        issues = validate_plan(plan, program)
+        assert any(i.kind == "self-prefetch" for i in issues)
+
+    def test_errors_only_filters_warnings(self, program):
+        own_line = program.block(0).lines[0]
+        plan = plan_with(PrefetchInstr(site_block=0, base_line=own_line))
+        assert validate_plan(plan, program, errors_only=True) == []
+
+
+class TestPlanIssue:
+    def test_is_error_classification(self):
+        assert PlanIssue("unknown-site", 0, "x").is_error
+        assert not PlanIssue("self-prefetch", 0, "x").is_error

@@ -1,0 +1,76 @@
+"""Consistency between the hardware LBR model and profile windows.
+
+The offline analysis reconstructs LBR windows from the retained block
+trace (``profile.window``); the hardware model maintains a real ring
+buffer.  If the two ever disagreed, contexts discovered offline would
+not match what the runtime-hash sees.
+"""
+
+from repro.profiling.lbr import LastBranchRecord
+from repro.profiling.profiler import profile_execution
+from repro.sim.cpu import TraceObserver, simulate
+from repro.sim.trace import BlockTrace
+
+from ..conftest import make_program
+
+
+class _LBRObserver(TraceObserver):
+    """Maintains a real LBR during replay and snapshots it at misses."""
+
+    def __init__(self, depth=32):
+        self.lbr = LastBranchRecord(depth=depth)
+        self.snapshots = {}
+        self._previous = None
+
+    def on_block(self, index, block_id, cycle):
+        if self._previous is not None:
+            self.lbr.record(self._previous, block_id, cycle)
+        self._previous = block_id
+
+    def on_miss(self, index, block_id, line, cycle):
+        self.snapshots[index] = self.lbr.source_blocks()
+
+
+class TestWindowsMatchHardwareLBR:
+    def test_snapshots_equal_profile_windows(self):
+        program = make_program([64] * 30)
+        # a walk with revisits so windows are non-trivial
+        ids = ([0, 1, 2, 3, 4] * 3 + list(range(30))) * 4
+        trace = BlockTrace(ids)
+
+        observer = _LBRObserver()
+        simulate(program, trace, observer=observer)
+        profile = profile_execution(program, trace)
+
+        assert observer.snapshots  # some misses occurred
+        for index, snapshot in observer.snapshots.items():
+            assert tuple(profile.window(index)) == snapshot
+
+    def test_window_depth_respected(self):
+        program = make_program([64] * 50)
+        trace = BlockTrace(list(range(50)))
+        profile = profile_execution(program, trace)
+        assert len(profile.window(49, depth=32)) == 32
+        assert list(profile.window(49, depth=5)) == [44, 45, 46, 47, 48]
+
+    def test_runtime_hash_agrees_with_offline_window(self):
+        """Push a profile window through the Bloom filter: any context
+        drawn from that window must match (no false negatives end to
+        end, from profiling through hardware)."""
+        from repro.core.bloom import LBRRuntimeHash
+        from repro.core.hashing import bit_position_table, context_mask
+
+        program = make_program([64] * 30)
+        trace = BlockTrace((list(range(30)) * 3)[:80])
+        profile = profile_execution(program, trace)
+
+        addresses = {b.block_id: b.address for b in program}
+        table = bit_position_table(addresses, 16)
+        index = 60
+        window = list(profile.window(index))
+        runtime = LBRRuntimeHash(table, hash_bits=16)
+        for block in window:
+            runtime.push(block)
+        context = window[:4]
+        mask = context_mask((addresses[b] for b in context), 16)
+        assert runtime.matches(mask)

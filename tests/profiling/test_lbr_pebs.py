@@ -1,0 +1,85 @@
+"""LBR ring buffer and PEBS sampler tests."""
+
+import pytest
+
+from repro.profiling.lbr import LBR_DEPTH, BranchRecord, LastBranchRecord
+from repro.profiling.pebs import MissSample, PEBSSampler
+
+
+class TestLBR:
+    def test_depth_default_is_32(self):
+        assert LastBranchRecord().depth == LBR_DEPTH == 32
+
+    def test_record_and_snapshot(self):
+        lbr = LastBranchRecord(depth=4)
+        lbr.record(1, 2, 10.0)
+        lbr.record(2, 3, 14.0)
+        snapshot = lbr.snapshot()
+        assert snapshot == (
+            BranchRecord(1, 2, 10.0),
+            BranchRecord(2, 3, 14.0),
+        )
+
+    def test_ring_overwrites_oldest(self):
+        lbr = LastBranchRecord(depth=3)
+        for i in range(6):
+            lbr.record(i, i + 1, float(i))
+        assert lbr.source_blocks() == (3, 4, 5)
+        assert len(lbr) == 3
+
+    def test_source_blocks_order(self):
+        lbr = LastBranchRecord(depth=4)
+        for i in (7, 8, 9):
+            lbr.record(i, 0, 0.0)
+        assert lbr.source_blocks() == (7, 8, 9)
+
+    def test_clear(self):
+        lbr = LastBranchRecord()
+        lbr.record(1, 2, 0.0)
+        lbr.clear()
+        assert len(lbr) == 0
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            LastBranchRecord(depth=0)
+
+    def test_iteration(self):
+        lbr = LastBranchRecord(depth=2)
+        lbr.record(1, 2, 0.0)
+        assert [r.source_block for r in lbr] == [1]
+
+
+class TestPEBS:
+    def test_period_one_records_everything(self):
+        pebs = PEBSSampler(sample_period=1)
+        for i in range(5):
+            assert pebs.observe(i, 10, 100, float(i))
+        assert len(pebs.samples) == 5
+        assert pebs.sampled_fraction == 1.0
+
+    def test_period_three_records_every_third(self):
+        pebs = PEBSSampler(sample_period=3)
+        recorded = [pebs.observe(i, 10, 100, float(i)) for i in range(9)]
+        assert recorded == [False, False, True] * 3
+        assert len(pebs.samples) == 3
+        assert pebs.total_events == 9
+
+    def test_sample_contents(self):
+        pebs = PEBSSampler()
+        pebs.observe(7, 42, 1000, 3.5)
+        sample = pebs.samples[0]
+        assert sample == MissSample(7, 42, 1000, 3.5)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PEBSSampler(sample_period=0)
+
+    def test_empty_sampled_fraction(self):
+        assert PEBSSampler().sampled_fraction == 0.0
+
+    def test_snapshot_immutable_copy(self):
+        pebs = PEBSSampler()
+        pebs.observe(0, 1, 2, 0.0)
+        snap = pebs.snapshot()
+        pebs.observe(1, 1, 2, 1.0)
+        assert len(snap) == 1

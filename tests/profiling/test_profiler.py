@@ -1,0 +1,123 @@
+"""ExecutionProfile / profile_execution tests."""
+
+import pytest
+
+from repro.profiling.profiler import profile_execution
+from repro.sim.cpu import simulate
+from repro.sim.trace import BlockTrace
+
+from ..conftest import make_program
+
+
+@pytest.fixture()
+def looped_profile():
+    program = make_program([64] * 6)
+    trace = BlockTrace([0, 1, 2, 3, 4, 5] * 4)
+    return program, trace, profile_execution(program, trace)
+
+
+class TestProfileContents:
+    def test_trace_retained(self, looped_profile):
+        _, trace, profile = looped_profile
+        assert profile.block_ids == trace.block_ids
+        assert len(profile) == len(trace)
+
+    def test_cycles_monotonic(self, looped_profile):
+        _, _, profile = looped_profile
+        cycles = profile.block_cycles
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+        assert len(cycles) == len(profile.block_ids)
+
+    def test_miss_samples_match_simulation(self, looped_profile):
+        program, trace, profile = looped_profile
+        stats = simulate(program, trace)
+        assert profile.sampled_miss_count == stats.l1i_misses
+
+    def test_edge_counts_conserved(self, looped_profile):
+        _, trace, profile = looped_profile
+        assert sum(profile.edge_counts.values()) == len(trace) - 1
+        assert profile.edge_counts[(0, 1)] == 4
+        assert profile.edge_counts[(5, 0)] == 3
+
+    def test_block_counts(self, looped_profile):
+        _, _, profile = looped_profile
+        assert profile.block_counts[0] == 4
+
+    def test_baseline_stats_attached(self, looped_profile):
+        _, _, profile = looped_profile
+        assert profile.baseline_stats is not None
+        assert profile.baseline_stats.l1i_misses == 6  # cold misses
+
+
+class TestWindows:
+    def test_window_excludes_current(self, looped_profile):
+        _, _, profile = looped_profile
+        window = profile.window(3, depth=2)
+        assert list(window) == [1, 2]
+
+    def test_window_clamped_at_start(self, looped_profile):
+        _, _, profile = looped_profile
+        assert list(profile.window(1, depth=32)) == [0]
+        assert list(profile.window(0)) == []
+
+    def test_default_depth_is_lbr(self, looped_profile):
+        _, _, profile = looped_profile
+        assert len(profile.window(30)) <= 32
+
+
+class TestOccurrences:
+    def test_occurrence_index(self, looped_profile):
+        _, _, profile = looped_profile
+        assert profile.occurrences(0) == [0, 6, 12, 18]
+        assert profile.occurrences(999) == []
+
+
+class TestMissAggregation:
+    def test_counts_by_line(self, looped_profile):
+        program, _, profile = looped_profile
+        counts = profile.miss_counts_by_line()
+        assert sum(counts.values()) == profile.sampled_miss_count
+        for line in counts:
+            assert line in {program.block(b).lines[0] for b in range(6)}
+
+    def test_samples_for_line(self, looped_profile):
+        _, _, profile = looped_profile
+        for line, count in profile.miss_counts_by_line().items():
+            assert len(profile.samples_for_line(line)) == count
+
+    def test_next_miss_within(self):
+        program = make_program([64] * 3)
+        trace = BlockTrace([0, 1, 2])
+        profile = profile_execution(program, trace)
+        line2 = program.block(2).lines[0]
+        found = profile.next_miss_within(line2, 0, max_cycles=10_000)
+        assert found is not None and found.line == line2
+        assert profile.next_miss_within(line2, 0, max_cycles=1.0) is None
+
+
+class TestInstructionAccounting:
+    def test_cumulative_instructions(self, looped_profile):
+        _, _, profile = looped_profile
+        cumulative = profile.cumulative_instructions
+        assert cumulative[0] == 0
+        assert cumulative[1] == 16  # 64B block = 16 instructions
+        assert cumulative[-1] == 16 * (len(profile) - 1)
+
+    def test_average_cpi_includes_stalls(self, looped_profile):
+        _, _, profile = looped_profile
+        # 0.5 base CPI plus cold-miss stalls
+        assert profile.average_cpi > 0.5
+
+    def test_estimated_distance(self, looped_profile):
+        _, _, profile = looped_profile
+        distance = profile.estimated_cycle_distance(0, 4)
+        assert distance == pytest.approx(64 * profile.average_cpi)
+
+
+class TestSampling:
+    def test_sample_period_reduces_samples(self):
+        program = make_program([64] * 6)
+        trace = BlockTrace(list(range(6)) * 4)
+        full = profile_execution(program, trace, sample_period=1)
+        sparse = profile_execution(program, trace, sample_period=3)
+        assert sparse.sampled_miss_count == full.sampled_miss_count // 3

@@ -1,0 +1,153 @@
+"""Set-associative cache tests, including prefetch bookkeeping."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache
+from repro.sim.params import CacheGeometry
+from repro.sim.replacement import InsertionPolicy
+
+
+def small_cache(size_bytes=4096, ways=4):
+    """64 lines / 16 sets by default."""
+    return Cache(CacheGeometry(size_bytes, ways, "test"))
+
+
+class TestDemandPath:
+    def test_cold_miss(self):
+        cache = small_cache()
+        assert not cache.access(1)
+        assert cache.stats.demand_misses == 1
+
+    def test_hit_after_fill(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.fill(1)
+        assert cache.access(1)
+        assert cache.stats.demand_hits == 1
+
+    def test_miss_does_not_fill(self):
+        cache = small_cache()
+        cache.access(1)
+        assert not cache.contains(1)
+
+    def test_eviction_within_set(self):
+        cache = small_cache(ways=2)
+        sets = cache.num_sets
+        lines = [0, sets, 2 * sets]  # all map to set 0
+        for line in lines:
+            cache.fill(line)
+        assert not cache.contains(lines[0])
+        assert cache.contains(lines[1]) and cache.contains(lines[2])
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(7)
+        assert cache.invalidate(7)
+        assert not cache.contains(7)
+        assert not cache.invalidate(7)
+
+    def test_flush_keeps_stats(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.fill(1)
+        cache.flush()
+        assert not cache.contains(1)
+        assert cache.stats.demand_misses == 1
+
+
+class TestPrefetchBookkeeping:
+    def test_prefetch_fill_counted(self):
+        cache = small_cache()
+        cache.fill(3, InsertionPolicy.PREFETCH)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.contains(3)
+
+    def test_demand_hit_on_prefetched_line(self):
+        cache = small_cache()
+        cache.fill(3, InsertionPolicy.PREFETCH)
+        cache.access(3)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_prefetched_line_used_once_only(self):
+        cache = small_cache()
+        cache.fill(3, InsertionPolicy.PREFETCH)
+        cache.access(3)
+        cache.access(3)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = small_cache(ways=2)
+        sets = cache.num_sets
+        cache.fill(0, InsertionPolicy.PREFETCH)
+        cache.fill(sets)
+        cache.fill(2 * sets)
+        assert cache.stats.prefetch_unused_evictions == 1
+
+    def test_used_prefetch_eviction_not_counted_unused(self):
+        cache = small_cache(ways=2)
+        sets = cache.num_sets
+        cache.fill(0, InsertionPolicy.PREFETCH)
+        cache.access(0)
+        cache.fill(sets)
+        cache.fill(2 * sets)
+        assert cache.stats.prefetch_unused_evictions == 0
+
+    def test_prefetch_inserted_below_mru(self):
+        cache = small_cache(ways=4)
+        sets = cache.num_sets
+        set0 = [0, sets, 2 * sets]
+        for line in set0:
+            cache.fill(line)  # demand: MRU order 2s, s, 0
+        cache.fill(3 * sets, InsertionPolicy.PREFETCH)  # at depth 2
+        victim = cache.fill(4 * sets)  # evicts true LRU (line 0)
+        assert victim == 0
+
+
+class TestCacheProperties:
+    @given(
+        lines=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+    )
+    @settings(max_examples=50)
+    def test_occupancy_bounded(self, lines):
+        cache = small_cache()
+        for line in lines:
+            if not cache.access(line):
+                cache.fill(line)
+        assert len(cache.resident_lines()) <= cache.geometry.num_lines
+
+    @given(lines=st.lists(st.integers(0, 255), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = small_cache()
+        for line in lines:
+            if not cache.access(line):
+                cache.fill(line)
+        stats = cache.stats
+        assert stats.demand_hits + stats.demand_misses == len(lines)
+
+    @given(lines=st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_repeat_access_hits(self, lines):
+        """With footprint <= capacity and a fill after each miss,
+        the second pass over any line is a hit."""
+        cache = small_cache(size_bytes=4096, ways=4)  # 64 lines
+        for line in lines:
+            if not cache.access(line):
+                cache.fill(line)
+        # 64 distinct lines max, 64-line cache, but set conflicts can
+        # evict; restrict to lines within one way-worth per set:
+        cache2 = small_cache(size_bytes=64 * 64, ways=64)  # fully assoc
+        for line in lines:
+            if not cache2.access(line):
+                cache2.fill(line)
+        for line in set(lines):
+            assert cache2.contains(line)
+
+    def test_miss_ratio(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.fill(0)
+        cache.access(0)
+        assert cache.stats.miss_ratio == 0.5

@@ -1,0 +1,92 @@
+"""Background data-traffic model tests."""
+
+import pytest
+
+from repro.sim.datatraffic import DATA_LINE_BASE, DataTrafficModel, make_data_traffic
+from repro.sim.hierarchy import MemoryHierarchy
+
+
+class TestPacing:
+    def test_rate_accounting(self):
+        model = DataTrafficModel(rate_per_instruction=0.5, seed=1)
+        h = MemoryHierarchy()
+        issued = model.advance(100, h)
+        assert issued == 50
+        assert model.accesses == 50
+
+    def test_fractional_accumulation(self):
+        model = DataTrafficModel(rate_per_instruction=0.3, seed=1)
+        h = MemoryHierarchy()
+        total = sum(model.advance(1, h) for _ in range(100))
+        # floating-point accumulation may round one access down
+        assert total in (29, 30)
+
+    def test_zero_rate_never_issues(self):
+        model = DataTrafficModel(rate_per_instruction=0.0, seed=1)
+        h = MemoryHierarchy()
+        assert model.advance(10_000, h) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        results = []
+        for _ in range(2):
+            model = DataTrafficModel(0.5, working_set_lines=1024, seed=42)
+            h = MemoryHierarchy()
+            model.advance(1000, h)
+            results.append(frozenset(h.l2.resident_lines()))
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        residents = []
+        for seed in (1, 2):
+            model = DataTrafficModel(0.5, working_set_lines=100_000, seed=seed)
+            h = MemoryHierarchy()
+            model.advance(1000, h)
+            residents.append(frozenset(h.l2.resident_lines()))
+        assert residents[0] != residents[1]
+
+
+class TestAddressing:
+    def test_data_lines_above_base(self):
+        model = DataTrafficModel(1.0, working_set_lines=64, seed=3)
+        h = MemoryHierarchy()
+        model.advance(200, h)
+        assert all(line >= DATA_LINE_BASE for line in h.l2.resident_lines())
+
+    def test_never_touches_l1i(self):
+        model = DataTrafficModel(1.0, seed=3)
+        h = MemoryHierarchy()
+        model.advance(500, h)
+        assert not h.l1i.resident_lines()
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            DataTrafficModel(-0.1)
+
+    def test_empty_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            DataTrafficModel(0.1, working_set_lines=0)
+
+    def test_bad_hot_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DataTrafficModel(0.1, hot_fraction=0.0)
+
+
+class TestFactory:
+    def test_zero_rate_returns_none(self):
+        assert make_data_traffic(0.0, 1024, 1) is None
+
+    def test_working_set_conversion(self):
+        model = make_data_traffic(0.1, working_set_kib=64, seed=1)
+        assert model is not None
+        assert model.working_set_lines == 64 * 1024 // 64
+
+    def test_reset(self):
+        model = DataTrafficModel(0.5, seed=1)
+        h = MemoryHierarchy()
+        model.advance(100, h)
+        model.reset()
+        assert model.accesses == 0

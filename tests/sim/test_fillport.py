@@ -1,0 +1,86 @@
+"""Fill-port bandwidth model tests (Table I memory bandwidth)."""
+
+import pytest
+
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
+from repro.sim.cpu import simulate
+from repro.sim.hierarchy import FillPort, MemoryHierarchy
+from repro.sim.params import MachineParams
+from repro.sim.trace import BlockTrace
+
+from ..conftest import make_program
+
+
+class TestFillPort:
+    def test_idle_port_is_pure_latency(self):
+        port = FillPort(MachineParams())
+        assert port.request(100.0, "l2") == 112.0
+
+    def test_back_to_back_fills_queue(self):
+        port = FillPort(MachineParams())
+        first = port.request(0.0, "memory")
+        second = port.request(0.0, "memory")
+        assert first == 260.0
+        # the second transfer starts after the first's occupancy
+        assert second == pytest.approx(26.0 + 260.0)
+
+    def test_port_frees_over_time(self):
+        port = FillPort(MachineParams())
+        port.request(0.0, "memory")  # busy until 26
+        late = port.request(1000.0, "l2")
+        assert late == 1012.0
+
+    def test_l1_fills_are_free(self):
+        machine = MachineParams()
+        assert machine.fill_occupancy("l1") == 0.0
+
+    def test_occupancy_ordering(self):
+        machine = MachineParams()
+        assert (
+            machine.fill_occupancy("l2")
+            < machine.fill_occupancy("l3")
+            < machine.fill_occupancy("memory")
+        )
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            MachineParams().fill_occupancy("l5")
+
+    def test_reset(self):
+        port = FillPort(MachineParams())
+        port.request(0.0, "memory")
+        port.reset()
+        assert port.busy_until == 0.0
+
+
+class TestBandwidthEffects:
+    def test_prefetch_burst_delays_demand_fill(self):
+        """A block that misses right after a large useless prefetch
+        burst pays queuing delay on top of its miss latency."""
+        program = make_program([64] * 12)
+        trace = BlockTrace([0, 1])
+        quiet = simulate(program, trace)
+
+        # same trace, but block 0 carries a 9-line useless prefetch
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(site_block=0, base_line=10_000, bit_vector=0xFF)
+        )
+        noisy = simulate(program, trace, plan=plan)
+        assert noisy.frontend_stall_cycles > quiet.frontend_stall_cycles
+
+    def test_baseline_without_prefetches_unaffected(self):
+        """Pure demand misses serialize behind their own stalls, so
+        the port never queues them — baseline timing is unchanged by
+        the bandwidth model."""
+        program = make_program([64] * 8)
+        trace = BlockTrace(list(range(8)) * 2)
+        stats = simulate(program, trace)
+        # every cold miss pays exactly the memory penalty
+        assert stats.frontend_stall_cycles == pytest.approx(8 * 260.0)
+
+    def test_hierarchy_reset_clears_port(self):
+        h = MemoryHierarchy()
+        h.fill_port.request(0.0, "memory")
+        h.reset()
+        assert h.fill_port.busy_until == 0.0

@@ -1,0 +1,119 @@
+"""Memory-hierarchy fetch/prefetch path tests."""
+
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.params import MachineParams
+
+
+class TestFetchPath:
+    def test_cold_fetch_goes_to_memory(self):
+        h = MemoryHierarchy()
+        result = h.fetch(100)
+        assert result.level == "memory"
+        assert result.penalty == 260
+        assert result.was_l1_miss
+
+    def test_fetch_fills_all_levels(self):
+        h = MemoryHierarchy()
+        h.fetch(100)
+        assert h.l1i.contains(100)
+        assert h.l2.contains(100)
+        assert h.l3.contains(100)
+
+    def test_second_fetch_hits_l1(self):
+        h = MemoryHierarchy()
+        h.fetch(100)
+        result = h.fetch(100)
+        assert result.level == "l1" and result.penalty == 0
+        assert not result.was_l1_miss
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = MemoryHierarchy()
+        h.fetch(100)
+        h.l1i.invalidate(100)
+        result = h.fetch(100)
+        assert result.level == "l2" and result.penalty == 12
+
+    def test_l3_hit_after_l1_l2_eviction(self):
+        h = MemoryHierarchy()
+        h.fetch(100)
+        h.l1i.invalidate(100)
+        h.l2.invalidate(100)
+        result = h.fetch(100)
+        assert result.level == "l3" and result.penalty == 36
+
+
+class TestResidence:
+    def test_residence_levels(self):
+        h = MemoryHierarchy()
+        assert h.residence_level(5) == "memory"
+        h.fetch(5)
+        assert h.residence_level(5) == "l1"
+        h.l1i.invalidate(5)
+        assert h.residence_level(5) == "l2"
+        h.l2.invalidate(5)
+        assert h.residence_level(5) == "l3"
+
+
+class TestPrefetchPath:
+    def test_prefetch_latency_matches_residence(self):
+        h = MemoryHierarchy()
+        assert h.prefetch_fill(9) == 260  # from memory
+        h.l1i.invalidate(9)
+        assert h.prefetch_fill(9) == 12  # now in L2
+
+    def test_prefetch_of_resident_line_is_free(self):
+        h = MemoryHierarchy()
+        h.fetch(9)
+        assert h.prefetch_fill(9) == 0
+
+    def test_prefetch_installs_into_l1(self):
+        h = MemoryHierarchy()
+        h.prefetch_fill(9)
+        assert h.l1i.contains(9)
+
+    def test_prefetch_counts_as_prefetch_fill(self):
+        h = MemoryHierarchy()
+        h.prefetch_fill(9)
+        assert h.l1i.stats.prefetch_fills == 1
+
+
+class TestDataAccess:
+    def test_data_access_bypasses_l1i(self):
+        h = MemoryHierarchy()
+        h.data_access(1 << 41)
+        assert not h.l1i.contains(1 << 41)
+        assert h.l2.contains(1 << 41)
+        assert h.l3.contains(1 << 41)
+
+    def test_data_access_levels(self):
+        h = MemoryHierarchy()
+        line = 1 << 41
+        assert h.data_access(line) == "memory"
+        assert h.data_access(line) == "l2"
+        h.l2.invalidate(line)
+        assert h.data_access(line) == "l3"
+
+    def test_data_pressure_evicts_code_from_l2(self):
+        h = MemoryHierarchy()
+        h.fetch(0)
+        # Sweep enough distinct data lines through the L2 to displace
+        # everything (L2 = 16384 lines).
+        for offset in range(2 * h.params.l2.num_lines):
+            h.data_access((1 << 41) + offset)
+        assert not h.l2.contains(0)
+
+
+class TestReset:
+    def test_reset_clears_contents_and_stats(self):
+        h = MemoryHierarchy()
+        h.fetch(1)
+        h.reset()
+        assert not h.l1i.contains(1)
+        assert h.l1i.stats.demand_misses == 0
+
+    def test_custom_machine(self):
+        m = MachineParams(l2_latency=20)
+        h = MemoryHierarchy(m)
+        h.fetch(1)
+        h.l1i.invalidate(1)
+        assert h.fetch(1).penalty == 20

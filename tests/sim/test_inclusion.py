@@ -1,0 +1,101 @@
+"""Hierarchy-inclusion and cross-level interaction tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.replacement import InsertionPolicy
+
+
+class TestInclusionOnFills:
+    @given(lines=st.lists(st.integers(0, 400), min_size=1, max_size=120))
+    @settings(max_examples=50)
+    def test_l1_resident_implies_filled_below_at_some_point(self, lines):
+        """Every demand fetch installs the line at every level, so an
+        L1-resident line was certainly installed in L2/L3 (it may be
+        evicted from them later, but with this footprint it is not)."""
+        h = MemoryHierarchy()
+        for line in lines:
+            h.fetch(line)
+        for line in h.l1i.resident_lines():
+            assert h.l2.contains(line)
+            assert h.l3.contains(line)
+
+    def test_l1_eviction_leaves_l2_copy(self):
+        h = MemoryHierarchy()
+        h.fetch(7)
+        h.l1i.invalidate(7)
+        assert h.l2.contains(7)
+        assert h.fetch(7).level == "l2"
+
+    def test_prefetch_from_l3_also_fills_l2(self):
+        h = MemoryHierarchy()
+        h.fetch(7)
+        h.l1i.invalidate(7)
+        h.l2.invalidate(7)
+        assert h.residence_level(7) == "l3"
+        h.prefetch_fill(7)
+        assert h.l1i.contains(7)
+        assert h.l2.contains(7)
+
+    def test_prefetch_from_memory_fills_all_levels(self):
+        h = MemoryHierarchy()
+        h.prefetch_fill(99)
+        assert h.l1i.contains(99)
+        assert h.l2.contains(99)
+        assert h.l3.contains(99)
+
+
+class TestPrefetchPriorityAcrossLevels:
+    def test_prefetch_fills_use_prefetch_priority_everywhere(self):
+        h = MemoryHierarchy()
+        h.prefetch_fill(42)
+        assert h.l1i.stats.prefetch_fills == 1
+        assert h.l2.stats.prefetch_fills == 1
+        assert h.l3.stats.prefetch_fills == 1
+
+    def test_demand_fills_are_not_prefetch_fills(self):
+        h = MemoryHierarchy()
+        h.fetch(42)
+        assert h.l1i.stats.prefetch_fills == 0
+
+
+class TestLevelStats:
+    def test_l2_sees_only_l1_misses(self):
+        h = MemoryHierarchy()
+        h.fetch(1)
+        h.fetch(1)
+        h.fetch(1)
+        assert h.l2.stats.demand_accesses == 1  # only the cold miss
+
+    def test_miss_counts_chain(self):
+        h = MemoryHierarchy()
+        for line in range(10):
+            h.fetch(line)
+        assert h.l1i.stats.demand_misses == 10
+        assert h.l2.stats.demand_misses == 10
+        assert h.l3.stats.demand_misses == 10
+        for line in range(10):
+            h.l1i.invalidate(line)
+        for line in range(10):
+            h.fetch(line)
+        assert h.l2.stats.demand_hits == 10
+
+
+class TestDataCodeInteraction:
+    def test_data_never_displaces_l1i(self):
+        h = MemoryHierarchy()
+        h.fetch(1)
+        for offset in range(100_000):
+            h.data_access((1 << 41) + offset)
+        assert h.l1i.contains(1)
+
+    def test_data_displaces_l2_code_but_l3_retains(self):
+        h = MemoryHierarchy()
+        h.fetch(1)
+        # L2 is 16K lines, L3 is 160K lines: sweep between the two
+        for offset in range(40_000):
+            h.data_access((1 << 41) + offset)
+        assert not h.l2.contains(1)
+        assert h.l3.contains(1)
+        assert h.fetch(1).level in ("l1", "l3")

@@ -1,0 +1,196 @@
+"""Prefetch-engine tests: conditional firing, coalescing expansion,
+in-flight tracking and false-positive accounting."""
+
+from repro.core.bloom import LBRRuntimeHash
+from repro.core.hashing import bit_position_table, context_mask
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.prefetch_engine import PrefetchEngine
+from repro.sim.stats import SimStats
+
+
+def make_engine(plan, tracker=None, track_exact=False):
+    hierarchy = MemoryHierarchy()
+    stats = SimStats()
+    engine = PrefetchEngine(
+        hierarchy, plan, stats, tracker=tracker, track_exact_context=track_exact
+    )
+    return engine, hierarchy, stats
+
+
+def make_tracker(addresses, hash_bits=16):
+    return LBRRuntimeHash(
+        bit_position_table(addresses, hash_bits), hash_bits=hash_bits
+    )
+
+
+class TestUnconditional:
+    def test_issues_to_hierarchy(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=50))
+        engine, hierarchy, stats = make_engine(plan)
+        executed = engine.execute_site(1, now=0.0)
+        assert executed == 1
+        assert stats.prefetches_issued == 1
+        assert hierarchy.l1i.contains(50)
+
+    def test_no_instrs_at_other_sites(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=50))
+        engine, _, stats = make_engine(plan)
+        assert engine.execute_site(2, now=0.0) == 0
+        assert stats.prefetch_instructions_executed == 0
+
+    def test_resident_line_not_reissued(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=50))
+        engine, hierarchy, stats = make_engine(plan)
+        hierarchy.fetch(50)
+        engine.execute_site(1, now=0.0)
+        assert stats.prefetches_issued == 0
+        assert stats.prefetches_resident == 1
+
+    def test_inflight_not_reissued(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=50))
+        engine, _, stats = make_engine(plan)
+        engine.execute_site(1, now=0.0)
+        engine.inflight[50] = 500.0  # still in flight
+        # line IS in L1 (filled at issue), so counted resident
+        engine.execute_site(1, now=10.0)
+        assert stats.prefetches_issued == 1
+
+    def test_arrival_tracking(self):
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=1, base_line=50))
+        engine, _, _ = make_engine(plan)
+        engine.execute_site(1, now=100.0)
+        arrival = engine.arrival_of(50)
+        assert arrival == 100.0 + 260  # memory fill latency
+        assert engine.arrival_of(50) is None  # popped
+
+
+class TestCoalescedExpansion:
+    def test_bit_vector_expands_lines(self):
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(site_block=1, base_line=100, bit_vector=0b101)
+        )
+        engine, hierarchy, stats = make_engine(plan)
+        engine.execute_site(1, now=0.0)
+        assert hierarchy.l1i.contains(100)
+        assert hierarchy.l1i.contains(101)
+        assert hierarchy.l1i.contains(103)
+        assert not hierarchy.l1i.contains(102)
+        assert stats.prefetches_issued == 3
+        assert stats.prefetch_instructions_executed == 1
+
+
+class TestConditional:
+    def test_fires_when_context_present(self):
+        addresses = {10: 0x1000, 11: 0x2000}
+        tracker = make_tracker(addresses)
+        mask = context_mask([0x1000], 16)
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(
+                site_block=1, base_line=77, context_mask=mask, context_blocks=(10,)
+            )
+        )
+        engine, hierarchy, stats = make_engine(plan, tracker)
+        tracker.push(10)
+        engine.execute_site(1, now=0.0)
+        assert stats.prefetches_issued == 1
+        assert hierarchy.l1i.contains(77)
+
+    def test_suppressed_when_context_absent(self):
+        addresses = {10: 0x1000, 11: 0x2000}
+        tracker = make_tracker(addresses)
+        mask = context_mask([0x1000], 16)
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(
+                site_block=1, base_line=77, context_mask=mask, context_blocks=(10,)
+            )
+        )
+        engine, hierarchy, stats = make_engine(plan, tracker)
+        tracker.push(11)  # different block, (very likely) different bit
+        engine.execute_site(1, now=0.0)
+        if stats.prefetches_suppressed:
+            assert not hierarchy.l1i.contains(77)
+            assert stats.prefetches_issued == 0
+        # the instruction itself always executes
+        assert stats.prefetch_instructions_executed == 1
+
+    def test_no_false_negatives(self):
+        """If every context block is in the LBR, the check passes."""
+        addresses = {i: 0x1000 * (i + 1) for i in range(8)}
+        tracker = make_tracker(addresses)
+        blocks = (2, 5, 7)
+        mask = context_mask([addresses[b] for b in blocks], 16)
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(
+                site_block=1, base_line=88, context_mask=mask, context_blocks=blocks
+            )
+        )
+        engine, _, stats = make_engine(plan, tracker)
+        for block in blocks:
+            tracker.push(block)
+        engine.execute_site(1, now=0.0)
+        assert stats.prefetches_suppressed == 0
+        assert stats.prefetches_issued == 1
+
+
+class TestExactContextAccounting:
+    def test_true_positive_counted(self):
+        addresses = {10: 0x1000}
+        tracker = make_tracker(addresses)
+        mask = context_mask([0x1000], 16)
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(
+                site_block=1, base_line=77, context_mask=mask, context_blocks=(10,)
+            )
+        )
+        engine, _, _ = make_engine(plan, tracker, track_exact=True)
+        tracker.push(10)
+        engine.retire_block(10)
+        engine.execute_site(1, now=0.0)
+        assert engine.true_positive_firings == 1
+        assert engine.false_positive_firings == 0
+        assert engine.conditional_false_positive_rate == 0.0
+
+    def test_false_positive_counted_on_collision(self):
+        # Find two blocks whose FNV bit positions collide at 4 bits.
+        addresses = {i: 0x40 * i + 0x400000 for i in range(64)}
+        from repro.core.hashing import context_bit_positions
+
+        by_bit = {}
+        collision = None
+        for block, address in addresses.items():
+            bit = context_bit_positions(address, 4)[0]
+            if bit in by_bit:
+                collision = (by_bit[bit], block)
+                break
+            by_bit[bit] = block
+        assert collision is not None
+        present, encoded = collision
+        tracker = LBRRuntimeHash(bit_position_table(addresses, 4), hash_bits=4)
+        mask = context_mask([addresses[encoded]], 4)
+        plan = PrefetchPlan()
+        plan.add(
+            PrefetchInstr(
+                site_block=1,
+                base_line=77,
+                context_mask=mask,
+                context_blocks=(encoded,),
+                context_hash_bits=4,
+            )
+        )
+        engine, _, _ = make_engine(plan, tracker, track_exact=True)
+        tracker.push(present)
+        engine.retire_block(present)
+        engine.execute_site(1, now=0.0)
+        assert engine.false_positive_firings == 1
+        assert engine.conditional_false_positive_rate == 1.0

@@ -1,0 +1,128 @@
+"""LRU-stack and insertion-policy tests, including properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.replacement import InsertionPolicy, LRUStack, make_sets
+
+
+class TestLRUStack:
+    def test_insert_and_contains(self):
+        lru = LRUStack(4)
+        lru.insert(10)
+        assert 10 in lru
+        assert 11 not in lru
+
+    def test_eviction_order_is_lru(self):
+        lru = LRUStack(2)
+        lru.insert(1)
+        lru.insert(2)
+        victim = lru.insert(3)
+        assert victim == 1
+        assert 1 not in lru and 2 in lru and 3 in lru
+
+    def test_touch_promotes_to_mru(self):
+        lru = LRUStack(2)
+        lru.insert(1)
+        lru.insert(2)
+        assert lru.touch(1)
+        victim = lru.insert(3)
+        assert victim == 2
+
+    def test_touch_missing_returns_false(self):
+        lru = LRUStack(2)
+        assert not lru.touch(99)
+
+    def test_insert_at_depth(self):
+        lru = LRUStack(4)
+        for tag in (1, 2, 3):
+            lru.insert(tag)
+        # stack: 3,2,1 -> insert 9 at depth 2 -> 3,2,9,1
+        lru.insert(9, depth=2)
+        assert list(lru.tags()) == [3, 2, 9, 1]
+
+    def test_insert_depth_clamped(self):
+        lru = LRUStack(4)
+        lru.insert(1)
+        lru.insert(2, depth=100)
+        assert list(lru.tags()) == [1, 2]
+
+    def test_reinsert_moves_existing(self):
+        lru = LRUStack(4)
+        for tag in (1, 2, 3):
+            lru.insert(tag)
+        lru.insert(1, depth=0)
+        assert list(lru.tags()) == [1, 3, 2]
+
+    def test_evict(self):
+        lru = LRUStack(2)
+        lru.insert(5)
+        assert lru.evict(5)
+        assert not lru.evict(5)
+
+    def test_victim_preview(self):
+        lru = LRUStack(2)
+        assert lru.victim() is None
+        lru.insert(1)
+        assert lru.victim() is None
+        lru.insert(2)
+        assert lru.victim() == 1
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            LRUStack(0)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "touch"]), st.integers(0, 9)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_ways(self, ops):
+        lru = LRUStack(4)
+        for op, tag in ops:
+            if op == "insert":
+                lru.insert(tag)
+            else:
+                lru.touch(tag)
+            assert len(lru) <= 4
+            assert len(set(lru.tags())) == len(lru)
+
+    @given(tags=st.lists(st.integers(0, 100), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_most_recent_insert_is_resident(self, tags):
+        lru = LRUStack(3)
+        for tag in tags:
+            lru.insert(tag)
+        assert tags[-1] in lru
+
+
+class TestInsertionPolicy:
+    def test_demand_goes_to_mru(self):
+        policy = InsertionPolicy(8)
+        assert policy.depth_for(InsertionPolicy.DEMAND) == 0
+
+    def test_prefetch_goes_to_half_depth(self):
+        policy = InsertionPolicy(8)
+        assert policy.depth_for(InsertionPolicy.PREFETCH) == 4
+
+    def test_custom_fraction(self):
+        policy = InsertionPolicy(20, prefetch_fraction=0.25)
+        assert policy.depth_for(InsertionPolicy.PREFETCH) == 5
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            InsertionPolicy(8, prefetch_fraction=1.5)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            InsertionPolicy(8).depth_for("speculative")
+
+
+class TestMakeSets:
+    def test_preallocates_all_sets(self):
+        sets = make_sets(16, 4)
+        assert len(sets) == 16
+        assert all(s.ways == 4 for s in sets.values())

@@ -1,0 +1,99 @@
+"""Program / BlockInfo / BlockTrace tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import BlockInfo, BlockTrace, Program
+
+from ..conftest import make_program
+
+
+class TestBlockInfo:
+    def test_single_line_block(self):
+        block = BlockInfo(0, 0x1000, 32, 8)
+        assert block.lines == (0x1000 // 64,)
+
+    def test_block_spanning_two_lines(self):
+        block = BlockInfo(0, 0x1000 + 48, 32, 8)
+        assert len(block.lines) == 2
+
+    def test_line_aligned_block_exactly_one_line(self):
+        block = BlockInfo(0, 0x1000, 64, 16)
+        assert len(block.lines) == 1
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            BlockInfo(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            BlockInfo(0, 0, 4, 0)
+
+    @given(address=st.integers(0, 1 << 30), size=st.integers(1, 4096))
+    @settings(max_examples=80)
+    def test_lines_cover_block_extent(self, address, size):
+        block = BlockInfo(0, address, size, 1)
+        lines = block.lines
+        assert lines[0] == address >> 6
+        assert lines[-1] == (address + size - 1) >> 6
+        assert list(lines) == list(range(lines[0], lines[-1] + 1))
+
+
+class TestProgram:
+    def test_len_and_lookup(self, tiny_program):
+        assert len(tiny_program) == 4
+        assert tiny_program.block(2).block_id == 2
+        assert 3 in tiny_program
+        assert 99 not in tiny_program
+
+    def test_text_bytes(self, tiny_program):
+        assert tiny_program.text_bytes == 256
+
+    def test_footprint_lines(self, tiny_program):
+        assert tiny_program.footprint_lines == 4
+        assert tiny_program.footprint_bytes == 256
+
+    def test_rejects_duplicate_ids(self):
+        blocks = [BlockInfo(0, 0, 64, 4), BlockInfo(0, 64, 64, 4)]
+        with pytest.raises(ValueError):
+            Program(blocks)
+
+    def test_rejects_overlapping_blocks(self):
+        blocks = [BlockInfo(0, 0, 64, 4), BlockInfo(1, 32, 64, 4)]
+        with pytest.raises(ValueError):
+            Program(blocks)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_lines_of_matches_block(self, tiny_program):
+        for block in tiny_program:
+            assert tiny_program.lines_of(block.block_id) == block.lines
+
+
+class TestBlockTrace:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BlockTrace([])
+
+    def test_len_and_iter(self, tiny_trace):
+        assert len(tiny_trace) == 8
+        assert list(tiny_trace) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_instruction_count(self, tiny_program, tiny_trace):
+        per_block = 64 // 4
+        assert tiny_trace.instruction_count(tiny_program) == 8 * per_block
+
+    def test_slice_preserves_metadata(self):
+        trace = BlockTrace([1, 2, 3, 4], metadata={"app": "x"})
+        sliced = trace.slice(1, 3)
+        assert sliced.block_ids == [2, 3]
+        assert sliced.metadata == {"app": "x"}
+
+
+class TestMakeProgramHelper:
+    def test_contiguous_layout(self):
+        program = make_program([64, 32, 96])
+        blocks = sorted(program, key=lambda b: b.address)
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.address + prev.size_bytes == cur.address

@@ -1,0 +1,49 @@
+"""Top-level package API tests."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.nonexistent_thing
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "simulate" in listing
+        assert "ISpy" in listing
+
+    def test_exports_are_canonical_objects(self):
+        from repro.core.ispy import ISpy as canonical
+
+        assert repro.ISpy is canonical
+
+    def test_app_names_exported(self):
+        assert len(repro.APP_NAMES) == 9
+
+
+class TestDocstringQuickstartShape:
+    def test_quickstart_flow_works(self):
+        """The README / module docstring flow, miniaturized."""
+        app = repro.get_app("tomcat", scale=0.15)
+        profile = repro.profile_execution(
+            app.program, app.trace(4000), data_traffic=app.data_traffic()
+        )
+        result = repro.build_ispy_plan(app.program, profile)
+        stats = repro.simulate(
+            app.program,
+            app.trace(4000, seed=7),
+            plan=result.plan,
+            data_traffic=app.data_traffic(seed=9),
+        )
+        assert stats.cycles > 0
+        assert isinstance(result.plan, repro.PrefetchPlan)

@@ -1,0 +1,76 @@
+"""CLI tests (fast scales)."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+FAST = ["--scale", "0.15", "--profile-blocks", "6000",
+        "--eval-blocks", "8000", "--warmup", "1500"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "redis"])
+
+    def test_figure_registry_covers_paper(self):
+        expected = {
+            "table1", "fig01", "fig03", "fig04", "fig05", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "fig21",
+        }
+        assert expected <= set(FIGURES)
+
+
+class TestCommands:
+    def test_apps(self, capsys):
+        assert main(["apps", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "wordpress" in out and "verilator" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "finagle-chirper"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "sampled L1I misses" in out
+        assert "hottest miss lines" in out
+
+    def test_plan_ispy(self, capsys):
+        assert main(["plan", "finagle-chirper"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "instructions:" in out
+        assert "static increase:" in out
+
+    def test_plan_asmdb(self, capsys):
+        assert main(
+            ["plan", "finagle-chirper", "--prefetcher", "asmdb"] + FAST
+        ) == 0
+        out = capsys.readouterr().out
+        assert "asmdb plan" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "finagle-chirper"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "ideal" in out and "ispy" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "apps", "--scale", "0.15"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "wordpress" in result.stdout

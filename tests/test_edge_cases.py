@@ -1,0 +1,135 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import pytest
+
+from repro.core.config import ISpyConfig
+from repro.core.ispy import build_ispy_plan
+from repro.baselines.asmdb import build_asmdb_plan
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
+from repro.profiling.profiler import profile_execution
+from repro.sim.cpu import simulate
+from repro.sim.trace import BlockInfo, BlockTrace, Program
+
+from .conftest import make_program
+
+
+class TestDegenerateTraces:
+    def test_single_block_trace(self):
+        program = make_program([64])
+        stats = simulate(program, BlockTrace([0]))
+        assert stats.l1i_misses == 1
+        assert stats.cycles > 0
+
+    def test_single_block_repeated(self):
+        program = make_program([64])
+        stats = simulate(program, BlockTrace([0] * 100))
+        assert stats.l1i_misses == 1
+        assert stats.l1i_accesses == 100
+
+    def test_giant_block_spans_many_lines(self):
+        program = make_program([64 * 40])  # 40-line block
+        stats = simulate(program, BlockTrace([0]))
+        assert stats.l1i_accesses == 40
+        assert stats.l1i_misses == 40
+
+    def test_warmup_longer_than_trace(self):
+        program = make_program([64, 64])
+        stats = simulate(program, BlockTrace([0, 1]), warmup=100)
+        # warmup boundary never reached: whole trace measured
+        assert stats.l1i_accesses == 2
+
+
+class TestDegenerateProfiles:
+    def test_profile_with_no_misses(self):
+        program = make_program([64])
+        trace = BlockTrace([0] * 50)
+        profile = profile_execution(program, trace)
+        # warm after first touch: one cold miss only
+        assert profile.sampled_miss_count == 1
+
+    def test_plan_from_missless_profile_is_tiny(self):
+        program = make_program([64])
+        profile = profile_execution(program, BlockTrace([0] * 50))
+        result = build_ispy_plan(program, profile)
+        assert len(result.plan) == 0
+        assert result.report.considered_lines == 0
+
+    def test_asmdb_from_missless_profile(self):
+        program = make_program([64])
+        profile = profile_execution(program, BlockTrace([0] * 50))
+        result = build_asmdb_plan(program, profile)
+        assert len(result.plan) == 0
+
+    def test_threshold_filters_everything(self):
+        program = make_program([64] * 8)
+        trace = BlockTrace(list(range(8)) * 3)
+        profile = profile_execution(program, trace)
+        config = ISpyConfig(min_miss_samples=10_000)
+        result = build_ispy_plan(program, profile, config)
+        assert len(result.plan) == 0
+        assert result.report.coverage == 0.0
+
+
+class TestHostilePlans:
+    def test_prefetch_to_nonexistent_lines_is_harmless(self):
+        program = make_program([64, 64])
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=0, base_line=10**9))
+        stats = simulate(program, BlockTrace([0, 1]), plan=plan)
+        assert stats.prefetches_issued == 1
+        assert stats.prefetches_useful == 0
+
+    def test_plan_site_never_executed(self):
+        program = make_program([64, 64, 64])
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=2, base_line=5))
+        stats = simulate(program, BlockTrace([0, 1]), plan=plan)
+        assert stats.prefetch_instructions_executed == 0
+
+    def test_self_prefetch_of_site_line(self):
+        program = make_program([64, 64])
+        line0 = program.block(0).lines[0]
+        plan = PrefetchPlan()
+        plan.add(PrefetchInstr(site_block=0, base_line=line0))
+        stats = simulate(program, BlockTrace([0] * 5), plan=plan)
+        assert stats.cycles > 0  # no deadlock, no crash
+
+    def test_many_instructions_at_one_site(self):
+        program = make_program([64] * 4)
+        plan = PrefetchPlan()
+        for target in range(100, 140):
+            plan.add(PrefetchInstr(site_block=0, base_line=target))
+        stats = simulate(program, BlockTrace([0, 1, 2, 3]), plan=plan)
+        assert stats.prefetch_instructions_executed == 40
+
+
+class TestProgramBoundaries:
+    def test_block_at_address_zero(self):
+        program = Program([BlockInfo(0, 0, 64, 16)])
+        stats = simulate(program, BlockTrace([0]))
+        assert stats.l1i_misses == 1
+
+    def test_sparse_address_space(self):
+        blocks = [
+            BlockInfo(0, 0x400000, 64, 16),
+            BlockInfo(1, 0x40000000, 64, 16),  # ~1 GiB away
+        ]
+        program = Program(blocks)
+        stats = simulate(program, BlockTrace([0, 1, 0, 1]))
+        assert stats.l1i_misses == 2
+
+    def test_adjacent_blocks_share_a_line(self):
+        program = make_program([32, 16], base_address=0x400000)
+        stats = simulate(program, BlockTrace([0, 1]))
+        # both blocks sit in the same 64B line: one miss total
+        assert stats.l1i_misses == 1
+        assert stats.l1i_accesses == 2
+
+
+class TestStatsUnderEmptyRuns:
+    def test_mpki_zero_instructions_guard(self):
+        from repro.sim.stats import SimStats
+
+        stats = SimStats()
+        stats.l1i_misses = 5
+        assert stats.l1i_mpki == 0.0  # no instructions recorded

@@ -1,0 +1,118 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
+from repro.core.ispy import build_ispy_plan
+from repro.sim.cpu import simulate
+from repro.workloads.apps import app_spec
+from repro.workloads.synthesis import synthesize
+
+
+def sample_plan():
+    plan = PrefetchPlan(name="sample")
+    plan.add(PrefetchInstr(site_block=1, base_line=100))
+    plan.add(
+        PrefetchInstr(
+            site_block=2,
+            base_line=200,
+            bit_vector=0b101,
+            context_mask=0x12,
+            context_blocks=(7, 9),
+            covers=(200, 202),
+        )
+    )
+    return plan
+
+
+class TestPlanRoundTrip:
+    def test_dict_round_trip(self):
+        plan = sample_plan()
+        restored = io.plan_from_dict(io.plan_to_dict(plan))
+        assert restored.name == plan.name
+        assert len(restored) == len(plan)
+        original = sorted(
+            (i.site_block, i.base_line, i.bit_vector, i.context_mask,
+             i.context_blocks, i.covers)
+            for i in plan
+        )
+        loaded = sorted(
+            (i.site_block, i.base_line, i.bit_vector, i.context_mask,
+             i.context_blocks, i.covers)
+            for i in restored
+        )
+        assert original == loaded
+
+    def test_file_round_trip(self, tmp_path):
+        plan = sample_plan()
+        path = tmp_path / "plan.json"
+        io.save_plan(plan, path)
+        restored = io.load_plan(path)
+        assert restored.static_bytes == plan.static_bytes
+        assert restored.kind_counts() == plan.kind_counts()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "app-spec", "version": 1}))
+        with pytest.raises(io.FormatError):
+            io.load_plan(path)
+
+    def test_wrong_version_rejected(self):
+        payload = io.plan_to_dict(sample_plan())
+        payload["version"] = 99
+        with pytest.raises(io.FormatError):
+            io.plan_from_dict(payload)
+
+
+class TestProfileRoundTrip:
+    def test_profile_round_trip_preserves_analysis(self, tmp_path, small_app, small_profile):
+        path = tmp_path / "profile.json.gz"
+        io.save_profile(small_profile, path)
+        restored = io.load_profile(path)
+
+        assert restored.block_ids == small_profile.block_ids
+        assert restored.sampled_miss_count == small_profile.sampled_miss_count
+        assert restored.edge_counts == small_profile.edge_counts
+        assert list(restored.window(100)) == list(small_profile.window(100))
+
+        # the restored profile drives the analysis to the same plan
+        original_plan = build_ispy_plan(small_app.program, small_profile).plan
+        restored_plan = build_ispy_plan(small_app.program, restored).plan
+        key = lambda p: sorted(
+            (i.site_block, i.base_line, i.bit_vector) for i in p
+        )
+        assert key(original_plan) == key(restored_plan)
+
+
+class TestSpecRoundTrip:
+    def test_spec_round_trip(self, tmp_path):
+        spec = app_spec("kafka")
+        path = tmp_path / "spec.json"
+        io.save_spec(spec, path)
+        restored = io.load_spec(path)
+        assert restored == spec
+
+    def test_restored_spec_synthesizes_identically(self, tmp_path):
+        from repro.workloads.synthesis import scaled_spec
+
+        spec = scaled_spec(app_spec("finagle-chirper"), 0.15)
+        restored = io.spec_from_dict(io.spec_to_dict(spec))
+        a = synthesize(spec)
+        b = synthesize(restored)
+        assert a.program.text_bytes == b.program.text_bytes
+        assert a.trace(300).block_ids == b.trace(300).block_ids
+
+
+class TestStatsExport:
+    def test_stats_to_dict(self, tiny_program):
+        from repro.sim.trace import BlockTrace
+
+        stats = simulate(tiny_program, BlockTrace([0, 1, 2, 3]))
+        record = io.stats_to_dict(stats)
+        assert record["format"] == "sim-stats"
+        assert record["l1i_misses"] == 4.0
+        assert record["miss_level_counts"] == {"memory": 4}
+        json.dumps(record)  # must be JSON-clean

@@ -1,0 +1,115 @@
+"""Application registry and input-mix tests."""
+
+import pytest
+
+from repro.sim.params import CACHE_LINE_BYTES
+from repro.workloads.apps import APP_NAMES, app_spec, build_app, get_app
+from repro.workloads.inputs import INPUT_NAMES, input_mixes, trace_for_input
+
+
+class TestRegistry:
+    def test_nine_apps(self):
+        assert len(APP_NAMES) == 9
+
+    def test_expected_names(self):
+        assert set(APP_NAMES) == {
+            "cassandra",
+            "drupal",
+            "finagle-chirper",
+            "finagle-http",
+            "kafka",
+            "mediawiki",
+            "tomcat",
+            "verilator",
+            "wordpress",
+        }
+
+    def test_all_specs_valid(self):
+        for name in APP_NAMES:
+            spec = app_spec(name)
+            assert spec.name == name
+            assert abs(sum(spec.request_mix) - 1.0) < 1e-9
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            app_spec("memcached")
+
+    def test_distinct_seeds(self):
+        seeds = {app_spec(name).seed for name in APP_NAMES}
+        assert len(seeds) == 9
+
+
+class TestBuildAll:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_builds_at_small_scale(self, name):
+        app = build_app(name, scale=0.15)
+        assert len(app.program) > 100
+        # instruction footprint comfortably exceeds the 32 KiB L1I
+        assert app.program.footprint_bytes > 64 * 1024
+        trace = app.trace(2000)
+        assert len(trace) == 2000
+
+    def test_get_app_caches(self):
+        a = get_app("kafka", scale=0.15)
+        b = get_app("kafka", scale=0.15)
+        assert a is b
+
+    def test_build_app_fresh(self):
+        a = build_app("kafka", scale=0.15)
+        b = build_app("kafka", scale=0.15)
+        assert a is not b
+
+    def test_verilator_is_straightline_heavy(self):
+        spec = app_spec("verilator")
+        others = [app_spec(n) for n in APP_NAMES if n != "verilator"]
+        assert spec.straightline > max(o.straightline for o in others)
+        assert spec.branch_bias > max(o.branch_bias for o in others)
+
+    def test_php_apps_have_largest_footprints(self):
+        footprints = {
+            name: sum(app_spec(name).functions_per_layer) for name in APP_NAMES
+        }
+        largest_three = set(
+            sorted(footprints, key=footprints.get, reverse=True)[:3]
+        )
+        assert largest_three == {"wordpress", "drupal", "mediawiki"}
+
+
+class TestInputMixes:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_app("drupal", scale=0.15)
+
+    def test_five_inputs(self, app):
+        mixes = input_mixes(app)
+        assert set(mixes) == set(INPUT_NAMES)
+        assert len(INPUT_NAMES) == 5
+
+    def test_all_mixes_normalized(self, app):
+        for mix in input_mixes(app).values():
+            assert abs(sum(mix) - 1.0) < 1e-9
+            assert all(w >= 0 for w in mix)
+
+    def test_default_matches_spec(self, app):
+        mixes = input_mixes(app)
+        for got, expected in zip(mixes["default"], app.spec.request_mix):
+            assert got == pytest.approx(expected)
+
+    def test_inputs_are_distinct(self, app):
+        mixes = input_mixes(app)
+        assert len({tuple(round(w, 9) for w in m) for m in mixes.values()}) == 5
+
+    def test_rotation_moves_dominant_type(self, app):
+        mixes = input_mixes(app)
+        default_peak = max(range(len(mixes["default"])), key=mixes["default"].__getitem__)
+        rotated_peak = max(range(len(mixes["input-3"])), key=mixes["input-3"].__getitem__)
+        assert default_peak != rotated_peak
+
+    def test_trace_for_input(self, app):
+        trace = trace_for_input(app, "input-2", length=500)
+        assert len(trace) == 500
+        assert trace.metadata["input"] == "input-2"
+
+    def test_unknown_input_rejected(self, app):
+        with pytest.raises(KeyError):
+            trace_for_input(app, "input-99", length=100)

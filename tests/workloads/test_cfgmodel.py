@@ -1,0 +1,189 @@
+"""Control-flow model and trace-walk tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.cfgmodel import (
+    Branch,
+    Call,
+    ControlFlowModel,
+    Jump,
+    Return,
+    TypedBranch,
+)
+
+
+def linear_model():
+    """0 -> 1 -> 2 -> (return to entry)."""
+    return ControlFlowModel(
+        {0: Jump(1), 1: Jump(2), 2: Return()}, entry=0
+    )
+
+
+class TestTerminatorValidation:
+    def test_branch_needs_matching_lengths(self):
+        with pytest.raises(ValueError):
+            Branch((1, 2), (0.5,))
+
+    def test_branch_rejects_negative_probs(self):
+        with pytest.raises(ValueError):
+            Branch((1, 2), (-0.1, 1.1))
+
+    def test_branch_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            Branch((1,), (0.0,))
+
+    def test_typed_branch_needs_targets(self):
+        with pytest.raises(ValueError):
+            TypedBranch(())
+
+
+class TestModelValidation:
+    def test_entry_must_exist(self):
+        with pytest.raises(ValueError):
+            ControlFlowModel({0: Return()}, entry=5)
+
+    def test_targets_must_exist(self):
+        with pytest.raises(ValueError):
+            ControlFlowModel({0: Jump(99)}, entry=0)
+
+    def test_call_targets_must_exist(self):
+        with pytest.raises(ValueError):
+            ControlFlowModel({0: Call(99, 0)}, entry=0)
+
+    def test_static_successors(self):
+        model = ControlFlowModel(
+            {0: Branch((1, 2), (0.5, 0.5)), 1: Jump(0), 2: Return()},
+            entry=0,
+        )
+        assert model.static_successors(0) == (1, 2)
+        assert model.static_successors(1) == (0,)
+        assert model.static_successors(2) == ()
+
+
+class TestWalks:
+    def test_linear_walk_wraps_at_return(self):
+        trace = linear_model().generate(7, seed=1)
+        assert trace == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_call_and_return(self):
+        model = ControlFlowModel(
+            {
+                0: Call(10, 1),   # call function at 10, resume at 1
+                1: Return(),
+                10: Jump(11),
+                11: Return(),
+            },
+            entry=0,
+        )
+        trace = model.generate(5, seed=1)
+        assert trace == [0, 10, 11, 1, 0]
+
+    def test_deterministic_by_seed(self):
+        model = ControlFlowModel(
+            {0: Branch((0, 1), (0.5, 0.5)), 1: Jump(0)}, entry=0
+        )
+        assert model.generate(50, seed=9) == model.generate(50, seed=9)
+        assert model.generate(200, seed=9) != model.generate(200, seed=10)
+
+    def test_branch_respects_probabilities(self):
+        model = ControlFlowModel(
+            {0: Branch((1, 2), (0.9, 0.1)), 1: Jump(0), 2: Jump(0)},
+            entry=0,
+        )
+        trace = model.generate(10_000, seed=4)
+        ones = trace.count(1)
+        twos = trace.count(2)
+        assert ones > 6 * twos
+
+    def test_length_exact(self):
+        assert len(linear_model().generate(123, seed=0)) == 123
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            linear_model().generate(0, seed=1)
+
+    def test_stack_depth_guard(self):
+        # infinite recursion: 0 calls itself; guard must not blow up
+        model = ControlFlowModel({0: Call(0, 0)}, entry=0)
+        trace = model.generate(100, seed=1, max_stack_depth=8)
+        assert len(trace) == 100
+
+
+class TestTypedBranch:
+    def make_typed_model(self):
+        # dispatch 0 picks stub 1 (type 0) or 2 (type 1); both call 10;
+        # 10's typed branch selects arm 11 (type 0) or 12 (type 1).
+        terms = {
+            0: Branch((1, 2), (0.5, 0.5)),
+            1: Call(10, 0),
+            2: Call(10, 0),
+            10: TypedBranch((11, 12)),
+            11: Return(),
+            12: Return(),
+        }
+        return ControlFlowModel(
+            terms, entry=0, type_markers={1: 0, 2: 1}
+        )
+
+    def test_arm_follows_active_type(self):
+        model = self.make_typed_model()
+        trace = model.generate(400, seed=3)
+        for position, block in enumerate(trace[:-2]):
+            if block == 1:
+                assert trace[position + 2] == 11
+            if block == 2:
+                assert trace[position + 2] == 12
+
+    def test_both_arms_reached(self):
+        trace = self.make_typed_model().generate(400, seed=3)
+        assert 11 in trace and 12 in trace
+
+
+class TestInputOverrides:
+    def test_with_branch_probs(self):
+        model = ControlFlowModel(
+            {0: Branch((1, 2), (0.5, 0.5)), 1: Jump(0), 2: Jump(0)},
+            entry=0,
+        )
+        skewed = model.with_branch_probs({0: (1.0, 0.0)})
+        trace = skewed.generate(100, seed=1)
+        assert 2 not in trace
+        # original untouched
+        assert 2 in model.generate(100, seed=1)
+
+    def test_override_non_branch_rejected(self):
+        model = linear_model()
+        with pytest.raises(ValueError):
+            model.with_branch_probs({0: (1.0,)})
+
+    def test_override_preserves_type_markers(self):
+        model = ControlFlowModel(
+            {0: Branch((1,), (1.0,)), 1: Return()},
+            entry=0,
+            type_markers={1: 3},
+        )
+        assert model.with_branch_probs({0: (1.0,)}).type_markers == {1: 3}
+
+
+class TestWalkProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_every_emitted_block_is_known(self, seed):
+        model = ControlFlowModel(
+            {
+                0: Branch((1, 2), (0.6, 0.4)),
+                1: Call(3, 0),
+                2: Jump(0),
+                3: Return(),
+            },
+            entry=0,
+        )
+        trace = model.generate(200, seed=seed)
+        assert set(trace) <= {0, 1, 2, 3}
+        # transitions respect static successors (calls/returns aside)
+        for src, dst in zip(trace, trace[1:]):
+            successors = model.static_successors(src)
+            if successors:
+                assert dst in successors or dst == 0  # return target

@@ -1,0 +1,103 @@
+"""Layout-builder tests: contiguity, alignment, bookkeeping."""
+
+import pytest
+
+from repro.sim.params import CACHE_LINE_BYTES
+from repro.workloads.layout import (
+    LayoutBuilder,
+    blocks_by_function,
+    function_line_span,
+)
+
+
+def build_two_functions():
+    builder = LayoutBuilder()
+    builder.begin_function("f")
+    f_blocks = [builder.add_block(40) for _ in range(3)]
+    builder.end_function()
+    builder.begin_function("g")
+    g_blocks = [builder.add_block(40) for _ in range(2)]
+    builder.end_function()
+    program, functions = builder.build("two")
+    return program, functions, f_blocks, g_blocks
+
+
+class TestLayout:
+    def test_blocks_within_function_contiguous(self):
+        program, _, f_blocks, _ = build_two_functions()
+        blocks = [program.block(b) for b in f_blocks]
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.address + prev.size_bytes == cur.address
+
+    def test_functions_line_aligned(self):
+        program, functions, _, _ = build_two_functions()
+        for layout in functions:
+            assert layout.start_address % CACHE_LINE_BYTES == 0
+
+    def test_function_ids_assigned(self):
+        program, functions, f_blocks, g_blocks = build_two_functions()
+        assert program.block(f_blocks[0]).function_id == functions[0].function_id
+        assert program.block(g_blocks[0]).function_id == functions[1].function_id
+
+    def test_block_ids_sequential(self):
+        _, _, f_blocks, g_blocks = build_two_functions()
+        assert f_blocks == [0, 1, 2]
+        assert g_blocks == [3, 4]
+
+    def test_minimum_block_size_enforced(self):
+        builder = LayoutBuilder()
+        builder.begin_function("f")
+        block_id = builder.add_block(1)
+        builder.end_function()
+        program, _ = builder.build("tiny")
+        assert program.block(block_id).size_bytes >= 4
+        assert program.block(block_id).instruction_count >= 1
+
+    def test_instruction_count_scales_with_bytes(self):
+        builder = LayoutBuilder()
+        builder.begin_function("f")
+        block_id = builder.add_block(40)
+        builder.end_function()
+        program, _ = builder.build("x")
+        assert program.block(block_id).instruction_count == 10
+
+
+class TestBuilderDiscipline:
+    def test_add_block_outside_function_rejected(self):
+        with pytest.raises(RuntimeError):
+            LayoutBuilder().add_block(16)
+
+    def test_nested_functions_rejected(self):
+        builder = LayoutBuilder()
+        builder.begin_function("f")
+        with pytest.raises(RuntimeError):
+            builder.begin_function("g")
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            LayoutBuilder().end_function()
+
+    def test_build_with_open_function_rejected(self):
+        builder = LayoutBuilder()
+        builder.begin_function("f")
+        builder.add_block(16)
+        with pytest.raises(RuntimeError):
+            builder.build("x")
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutBuilder().build("empty")
+
+
+class TestHelpers:
+    def test_function_line_span(self):
+        program, functions, _, _ = build_two_functions()
+        first, last = function_line_span(functions[0], program)
+        assert first <= last
+        assert first == functions[0].start_address // CACHE_LINE_BYTES
+
+    def test_blocks_by_function(self):
+        program, functions, f_blocks, g_blocks = build_two_functions()
+        groups = blocks_by_function(program)
+        assert groups[functions[0].function_id] == f_blocks
+        assert groups[functions[1].function_id] == g_blocks

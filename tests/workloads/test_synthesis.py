@@ -1,0 +1,157 @@
+"""Application-synthesizer tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.cfgmodel import Branch, Call, TypedBranch
+from repro.workloads.synthesis import AppSpec, scaled_spec, synthesize
+
+
+def tiny_spec(**overrides):
+    defaults = dict(
+        name="tiny",
+        seed=7,
+        request_types=3,
+        request_mix=(0.5, 0.3, 0.2),
+        functions_per_layer=(6, 8),
+        shared_per_layer=2,
+        stages_range=(3, 6),
+    )
+    defaults.update(overrides)
+    return AppSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            tiny_spec(request_mix=(0.5, 0.3, 0.3))
+
+    def test_mix_length_must_match(self):
+        with pytest.raises(ValueError):
+            tiny_spec(request_types=2)
+
+    def test_stage_mass_capped(self):
+        with pytest.raises(ValueError):
+            tiny_spec(straightline=0.5, diamond_prob=0.4, call_prob=0.3)
+
+    def test_invalid_stage_range(self):
+        with pytest.raises(ValueError):
+            tiny_spec(stages_range=(5, 3))
+
+
+class TestSynthesizedStructure:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return synthesize(tiny_spec())
+
+    def test_program_and_model_agree(self, app):
+        assert set(app.model.block_ids()) == set(app.program.block_ids())
+
+    def test_dispatcher_branches_over_request_types(self, app):
+        term = app.model.terminator(app.dispatch_block)
+        assert isinstance(term, Branch)
+        assert len(term.targets) == 3
+        assert term.probs == app.spec.request_mix
+
+    def test_stubs_call_handlers(self, app):
+        term = app.model.terminator(app.dispatch_block)
+        for stub, handler in zip(term.targets, app.handler_entries):
+            stub_term = app.model.terminator(stub)
+            assert isinstance(stub_term, Call)
+            assert stub_term.callee == handler
+            assert stub_term.link == app.dispatch_block
+
+    def test_type_markers_cover_all_types(self, app):
+        assert sorted(app.model.type_markers.values()) == [0, 1, 2]
+
+    def test_every_handler_reachable_in_walk(self, app):
+        trace = app.trace(6000)
+        for handler in app.handler_entries:
+            assert handler in trace.block_ids
+
+    def test_deterministic_synthesis(self):
+        a = synthesize(tiny_spec())
+        b = synthesize(tiny_spec())
+        assert a.program.text_bytes == b.program.text_bytes
+        assert a.trace(500).block_ids == b.trace(500).block_ids
+
+    def test_different_seeds_differ(self):
+        a = synthesize(tiny_spec())
+        b = synthesize(tiny_spec(seed=8))
+        assert a.trace(500).block_ids != b.trace(500).block_ids
+
+
+class TestTypedStages:
+    def test_shared_functions_get_typed_dispatch(self):
+        spec = tiny_spec(
+            typed_stage_prob_shared=1.0,
+            typed_stage_prob=0.0,
+            stages_range=(4, 4),
+        )
+        app = synthesize(spec)
+        typed = [
+            b
+            for b in app.model.block_ids()
+            if isinstance(app.model.terminator(b), TypedBranch)
+        ]
+        assert typed
+        for block in typed:
+            term = app.model.terminator(block)
+            assert len(term.targets) == spec.request_types
+
+    def test_no_typed_stages_when_disabled(self):
+        spec = tiny_spec(typed_stage_prob_shared=0.0, typed_stage_prob=0.0)
+        app = synthesize(spec)
+        assert not any(
+            isinstance(app.model.terminator(b), TypedBranch)
+            for b in app.model.block_ids()
+        )
+
+
+class TestTraces:
+    def test_trace_metadata(self):
+        app = synthesize(tiny_spec())
+        trace = app.trace(100, input_name="x")
+        assert trace.metadata["app"] == "tiny"
+        assert trace.metadata["input"] == "x"
+        assert trace.metadata["length"] == 100
+
+    def test_mix_override_changes_walk(self):
+        app = synthesize(tiny_spec())
+        default = app.trace(2000)
+        skewed = app.trace(2000, mix=(0.0, 0.0, 1.0))
+        assert default.block_ids != skewed.block_ids
+        # only handler 2's stub should be dispatched
+        stub_term = app.model.terminator(app.dispatch_block)
+        unused_stubs = set(stub_term.targets[:2])
+        assert not unused_stubs & set(skewed.block_ids)
+
+    def test_mix_length_checked(self):
+        app = synthesize(tiny_spec())
+        with pytest.raises(ValueError):
+            app.trace(100, mix=(1.0,))
+
+    def test_data_traffic_factory(self):
+        app = synthesize(tiny_spec())
+        model = app.data_traffic()
+        assert model is not None
+        assert model.rate == app.spec.data_rate_per_instruction
+        silent = synthesize(tiny_spec(data_rate_per_instruction=0.0))
+        assert silent.data_traffic() is None
+
+
+class TestScaledSpec:
+    def test_scaling_down(self):
+        spec = tiny_spec(functions_per_layer=(20, 30))
+        small = scaled_spec(spec, 0.5)
+        assert small.functions_per_layer == (10, 15)
+
+    def test_scale_floor_preserves_shared(self):
+        spec = tiny_spec(functions_per_layer=(20, 30), shared_per_layer=2)
+        smallest = scaled_spec(spec, 0.01)
+        assert all(c >= 3 for c in smallest.functions_per_layer)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            scaled_spec(tiny_spec(), 0.0)

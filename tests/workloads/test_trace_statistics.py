@@ -1,0 +1,101 @@
+"""Statistical properties of generated traces.
+
+The workload generator's whole purpose is to produce executions with
+specific aggregate behaviours; these tests measure those behaviours
+on real (small) applications rather than trusting the construction.
+"""
+
+import collections
+
+import pytest
+
+from repro.workloads.apps import build_app
+from repro.workloads.inputs import input_mixes
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_app("kafka", scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def trace(app):
+    return app.trace(60_000)
+
+
+class TestRequestStructure:
+    def test_dispatch_frequency_matches_mix(self, app, trace):
+        """Each handler's stub executes in proportion to the mix."""
+        term = app.model.terminator(app.dispatch_block)
+        stub_counts = collections.Counter(
+            b for b in trace.block_ids if b in set(term.targets)
+        )
+        total = sum(stub_counts.values())
+        assert total > 100  # enough requests to compare against
+        for stub, probability in zip(term.targets, term.probs):
+            observed = stub_counts.get(stub, 0) / total
+            assert abs(observed - probability) < 0.08
+
+    def test_every_request_returns_to_dispatcher(self, app, trace):
+        dispatch_count = trace.block_ids.count(app.dispatch_block)
+        term = app.model.terminator(app.dispatch_block)
+        stub_total = sum(
+            trace.block_ids.count(stub) for stub in term.targets
+        )
+        # each dispatch executes exactly one stub (last one may be cut)
+        assert abs(dispatch_count - stub_total) <= 1
+
+    def test_trace_covers_many_functions(self, app, trace):
+        by_function = {
+            block.block_id: block.function_id for block in app.program
+        }
+        touched = {by_function[b] for b in set(trace.block_ids)}
+        assert len(touched) > 30
+
+
+class TestFootprintBehaviour:
+    def test_dynamic_footprint_exceeds_l1i(self, app, trace):
+        lines = set()
+        for block_id in set(trace.block_ids):
+            lines.update(app.program.lines_of(block_id))
+        assert len(lines) > 512  # 32 KiB / 64 B
+
+    def test_hot_cold_skew(self, trace):
+        """Execution counts are heavily skewed: the top decile of
+        blocks accounts for the majority of executions."""
+        counts = sorted(
+            collections.Counter(trace.block_ids).values(), reverse=True
+        )
+        top_decile = sum(counts[: max(1, len(counts) // 10)])
+        assert top_decile > 0.4 * len(trace)
+
+
+class TestInputMixEffects:
+    def test_mix_shift_changes_block_distribution(self, app):
+        mixes = input_mixes(app)
+        traces = {
+            name: app.trace(15_000, seed=1234, mix=mix)
+            for name, mix in mixes.items()
+            if name in ("default", "input-3")
+        }
+        default_hot = set(
+            b
+            for b, c in collections.Counter(
+                traces["default"].block_ids
+            ).most_common(300)
+        )
+        rotated_hot = set(
+            b
+            for b, c in collections.Counter(
+                traces["input-3"].block_ids
+            ).most_common(300)
+        )
+        overlap = len(default_hot & rotated_hot) / 300
+        assert overlap < 0.95  # the hot set genuinely moves
+
+    def test_same_mix_different_seed_same_distribution(self, app):
+        a = collections.Counter(app.trace(15_000, seed=1).block_ids)
+        b = collections.Counter(app.trace(15_000, seed=2).block_ids)
+        hot_a = {blk for blk, _ in a.most_common(100)}
+        hot_b = {blk for blk, _ in b.most_common(100)}
+        assert len(hot_a & hot_b) / 100 > 0.6  # same program behaviour
