@@ -1,0 +1,69 @@
+"""Simulator throughput smoke benchmark.
+
+Records replay throughput (blocks/sec) for one small application
+under the three replay modes the harness spends its time in — the
+no-plan baseline fast path, AsmDB replay and I-SPY replay — so
+regressions in the simulator's hot loops show up as a number, not a
+vague "the suite got slower".
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.experiments import Evaluator, ExperimentSettings
+from repro.analysis.reporting import render_table
+from repro.sim.cpu import CoreSimulator
+
+from .conftest import write_result
+
+SETTINGS = ExperimentSettings.small()
+REPEATS = 3
+
+
+def _replay_seconds(evaluation, plan) -> float:
+    """Best-of-N wall time for one evaluation-trace replay."""
+    trace = evaluation.eval_trace
+    best = float("inf")
+    for _ in range(REPEATS):
+        core = CoreSimulator(
+            evaluation.app.program,
+            plan=plan,
+            data_traffic=evaluation._eval_data_traffic(),
+        )
+        started = time.perf_counter()
+        core.run(trace, warmup=evaluation.settings.warmup)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_replay_throughput(results_dir):
+    evaluation = Evaluator(SETTINGS)["wordpress"]
+    blocks = len(evaluation.eval_trace)
+
+    timings = {
+        "no-plan": _replay_seconds(evaluation, None),
+        "asmdb": _replay_seconds(evaluation, evaluation.asmdb_plan()),
+        "ispy": _replay_seconds(evaluation, evaluation.ispy_plan()),
+    }
+    rows = [
+        {
+            "mode": mode,
+            "seconds": seconds,
+            "blocks_per_sec": int(blocks / seconds),
+        }
+        for mode, seconds in timings.items()
+    ]
+    write_result(
+        results_dir,
+        "perf_smoke",
+        render_table(rows, title="replay throughput (wordpress, small)"),
+    )
+
+    # sanity floor: even this box should clear a few thousand blocks/sec
+    assert all(row["blocks_per_sec"] > 2_000 for row in rows)
+    # the no-plan fast path must not be slower than engine-driven
+    # replay (10% tolerance for timer noise) — if it is, the fast
+    # path in FetchEngine.fetch_block has stopped being taken
+    assert timings["no-plan"] <= timings["ispy"] * 1.10
+    assert timings["no-plan"] <= timings["asmdb"] * 1.10

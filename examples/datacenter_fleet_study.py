@@ -6,7 +6,11 @@ By default this runs at a reduced scale so it finishes in about a
 minute; pass ``--full`` for the benchmark-scale configuration the
 EXPERIMENTS.md numbers come from (several minutes).
 
-Run:  python examples/datacenter_fleet_study.py [--full]
+Simulations fan out across all CPUs by default (``--jobs 1`` forces
+serial execution — results are bit-identical either way), and
+``--cache DIR`` persists every artifact so re-runs are nearly free.
+
+Run:  python examples/datacenter_fleet_study.py [--full] [--jobs N]
 """
 
 import argparse
@@ -32,15 +36,26 @@ def main() -> None:
     parser.add_argument(
         "--apps", nargs="*", default=None, help="subset of applications"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = one per CPU, 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persistent artifact cache directory",
+    )
     args = parser.parse_args()
 
     settings = (
         ExperimentSettings() if args.full else ExperimentSettings.medium()
     )
-    evaluator = Evaluator(settings)
+    evaluator = Evaluator(settings, store=args.cache, jobs=args.jobs)
     apps = args.apps
 
     started = time.time()
+    evaluator.prewarm(
+        apps, variants=("baseline", "ideal", "asmdb", "ispy")
+    )
     speedups = fig10_speedup(evaluator, apps)
     mpki = fig11_mpki(evaluator, apps)
     accuracy = fig13_accuracy(evaluator, apps)
@@ -80,6 +95,8 @@ def main() -> None:
         f"{percent(summary['mean_improvement_over_asmdb'])}"
     )
     print(f"\nelapsed: {time.time() - started:.0f}s")
+    print()
+    print(evaluator.perf.report())
 
 
 if __name__ == "__main__":

@@ -69,6 +69,46 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=int, default=16_000)
 
 
+def _add_perf_options(
+    parser: argparse.ArgumentParser,
+    jobs_default: int = 1,
+    cache_default: Optional[str] = None,
+) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=jobs_default, metavar="N",
+        help="worker processes for independent simulations "
+        "(0 = one per CPU, 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache", default=cache_default, metavar="DIR",
+        help="persistent artifact cache directory "
+        "(profiles, plans and simulation results survive across runs)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache",
+    )
+    parser.add_argument(
+        "--timing", action="store_true",
+        help="print per-stage timing and cache-hit counters at the end",
+    )
+
+
+def _evaluator(args: argparse.Namespace) -> exp.Evaluator:
+    cache = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+    return exp.Evaluator(
+        _settings(args),
+        store=cache,
+        jobs=getattr(args, "jobs", 1),
+    )
+
+
+def _finish(args: argparse.Namespace, evaluator: exp.Evaluator) -> None:
+    if getattr(args, "timing", False):
+        print()
+        print(evaluator.perf.report())
+
+
 def cmd_apps(args: argparse.Namespace) -> int:
     from .workloads.apps import build_app
 
@@ -89,7 +129,7 @@ def cmd_apps(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
     evaluation = evaluator[args.app]
     profile = evaluation.profile
     counts = profile.miss_counts_by_line()
@@ -108,16 +148,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     top = counts.most_common(10)
     rows = [{"line": line, "sampled_misses": count} for line, count in top]
     print(render_table(rows, title="hottest miss lines"))
+    _finish(args, evaluator)
     return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
     evaluation = evaluator[args.app]
     if args.prefetcher == "asmdb":
-        plan = evaluation.asmdb_result().plan
+        plan = evaluation.asmdb_plan()
     else:
-        plan = evaluation.ispy_result().plan
+        plan = evaluation.ispy_plan()
     text = evaluation.app.program.text_bytes
     print(f"{args.prefetcher} plan for {args.app}:")
     print(f"  instructions: {len(plan)}")
@@ -127,11 +168,15 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(f"  static increase: {percent(plan.static_increase(text))}")
     print(f"  distinct sites: {len(plan.sites())}")
     print(f"  lines covered: {len(plan.covered_lines())}")
+    _finish(args, evaluator)
     return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
+    evaluator.prewarm(
+        apps=[args.app], variants=("baseline", "ideal", "asmdb", "ispy")
+    )
     evaluation = evaluator[args.app]
     rows = []
     for variant in ("baseline", "ideal", "asmdb", "ispy"):
@@ -176,6 +221,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 f"  {channel:21s} {attribution[channel]:12.0f} cycles "
                 f"({percent(fraction)})"
             )
+    _finish(args, evaluator)
     return 0
 
 
@@ -191,14 +237,18 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.name == "table1":
         print(render_table(function(), title="Table I"))
         return 0
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
+    if args.jobs != 1:
+        evaluator.prewarm()
     rows = function(evaluator)
     print(render_table(rows, title=args.name, precision=4))
+    _finish(args, evaluator)
     return 0
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
+    evaluator.prewarm(variants=("baseline", "ideal", "asmdb", "ispy"))
     summary = exp.headline_summary(evaluator)
     print(f"mean I-SPY speedup:      +{summary['mean_speedup'] * 100:.1f}%")
     print(f"max I-SPY speedup:       +{summary['max_speedup'] * 100:.1f}%")
@@ -209,17 +259,19 @@ def cmd_headline(args: argparse.Namespace) -> int:
         "mean improvement vs AsmDB: "
         f"{percent(summary['mean_improvement_over_asmdb'])}"
     )
+    _finish(args, evaluator)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import write_report
 
-    evaluator = exp.Evaluator(_settings(args))
+    evaluator = _evaluator(args)
     target = write_report(
         args.output, evaluator, include_sweeps=not args.no_sweeps
     )
     print(f"report written to {target}")
+    _finish(args, evaluator)
     return 0
 
 
@@ -237,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile = commands.add_parser("profile", help="profile one application")
     p_profile.add_argument("app", choices=APP_NAMES)
     _add_scale_options(p_profile)
+    _add_perf_options(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_plan = commands.add_parser("plan", help="build and describe a plan")
@@ -245,16 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefetcher", choices=("ispy", "asmdb"), default="ispy"
     )
     _add_scale_options(p_plan)
+    _add_perf_options(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
     p_eval = commands.add_parser("evaluate", help="evaluate one application")
     p_eval.add_argument("app", choices=APP_NAMES)
     _add_scale_options(p_eval)
+    _add_perf_options(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_figure = commands.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name", help="e.g. fig10, fig21, table1")
     _add_scale_options(p_figure)
+    _add_perf_options(p_figure)
     p_figure.set_defaults(func=cmd_figure)
 
     p_report = commands.add_parser(
@@ -266,12 +322,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the slow sensitivity sweeps",
     )
     _add_scale_options(p_report)
+    # the full report is the expensive entry point: parallel over all
+    # CPUs and persistently cached by default
+    _add_perf_options(p_report, jobs_default=0, cache_default=".repro-cache")
     p_report.set_defaults(func=cmd_report)
 
     p_headline = commands.add_parser(
         "headline", help="abstract-level aggregate numbers"
     )
     _add_scale_options(p_headline)
+    _add_perf_options(p_headline)
     p_headline.set_defaults(func=cmd_headline)
 
     return parser

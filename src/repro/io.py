@@ -10,7 +10,12 @@ This module provides the interchange formats for those hand-offs:
   (gzipped JSON; these carry full traces and can be large);
 * :func:`save_spec` / :func:`load_spec` — workload definitions, so an
   experiment's exact synthetic application can be reconstructed;
-* :func:`stats_to_dict` — flat result records for logging.
+* :func:`stats_to_dict` — flat result records for logging;
+* :func:`stats_to_record` / :func:`stats_from_record` — *lossless*
+  counter-level result round-trips (the artifact-store format);
+* :class:`ArtifactStore` — a versioned, content-addressed on-disk
+  cache of profiles, plans and simulation results, so repeated
+  harness runs share artifacts instead of recomputing them.
 
 All formats are versioned JSON; unknown versions are rejected rather
 than silently misread.
@@ -18,11 +23,15 @@ than silently misread.
 
 from __future__ import annotations
 
+import dataclasses
 import gzip
+import hashlib
 import json
+import os
+import tempfile
 from collections import Counter
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Optional, Union
 
 from .core.instructions import PrefetchInstr, PrefetchPlan
 from .profiling.pebs import MissSample
@@ -31,6 +40,12 @@ from .sim.stats import SimStats
 from .workloads.synthesis import AppSpec
 
 FORMAT_VERSION = 1
+
+#: Version of the *artifact-store* layout and key schema.  Bump this
+#: whenever any serialized artifact's meaning changes (new simulator
+#: behaviour, changed profile contents, …): old entries become
+#: unreachable rather than silently wrong.
+CACHE_SCHEMA_VERSION = 1
 
 PathLike = Union[str, Path]
 
@@ -105,7 +120,7 @@ def load_plan(path: PathLike) -> PrefetchPlan:
 
 
 def profile_to_dict(profile: ExecutionProfile) -> dict:
-    return {
+    payload = {
         "format": "execution-profile",
         "version": FORMAT_VERSION,
         "program_name": profile.program_name,
@@ -126,10 +141,17 @@ def profile_to_dict(profile: ExecutionProfile) -> dict:
             [block, count] for block, count in profile.block_counts.items()
         ],
     }
+    # The profiling run's own statistics ride along (AsmDB's average-CPI
+    # distance estimator reads them), so a reloaded profile yields the
+    # same plans as a freshly collected one.
+    if profile.baseline_stats is not None:
+        payload["baseline_stats"] = stats_to_record(profile.baseline_stats)
+    return payload
 
 
 def profile_from_dict(payload: dict) -> ExecutionProfile:
     _check(payload, "execution-profile")
+    baseline = payload.get("baseline_stats")
     return ExecutionProfile(
         program_name=payload["program_name"],
         block_ids=list(payload["block_ids"]),
@@ -146,6 +168,9 @@ def profile_from_dict(payload: dict) -> ExecutionProfile:
         ),
         cumulative_instructions=list(payload["cumulative_instructions"]),
         lbr_depth=payload["lbr_depth"],
+        baseline_stats=(
+            stats_from_record(baseline) if baseline is not None else None
+        ),
     )
 
 
@@ -210,3 +235,198 @@ def stats_to_dict(stats: SimStats) -> dict:
     record["late_prefetch_hits"] = stats.late_prefetch_hits
     record["miss_level_counts"] = dict(stats.miss_level_counts)
     return record
+
+
+def stats_to_record(stats: SimStats) -> dict:
+    """A *lossless* counter-level record of one simulation.
+
+    Unlike :func:`stats_to_dict` (a flat summary of derived metrics),
+    this captures every raw counter so :func:`stats_from_record`
+    rebuilds an object indistinguishable from the original — the
+    requirement for the artifact store to substitute cached results
+    for live simulations.  JSON round-trips Python floats exactly
+    (repr-based), so derived metrics match bit for bit.
+    """
+    record: Dict[str, Any] = {
+        field.name: getattr(stats, field.name)
+        for field in dataclasses.fields(stats)
+    }
+    record["miss_level_counts"] = dict(stats.miss_level_counts)
+    record["format"] = "sim-stats-full"
+    record["version"] = FORMAT_VERSION
+    # run_plan attaches the Fig. 21 false-positive rate out-of-band
+    extra = getattr(stats, "false_positive_rate", None)
+    if extra is not None:
+        record["false_positive_rate"] = extra
+    return record
+
+
+def stats_from_record(payload: dict) -> SimStats:
+    _check(payload, "sim-stats-full")
+    fields = {
+        field.name: payload[field.name]
+        for field in dataclasses.fields(SimStats)
+    }
+    stats = SimStats(**fields)
+    if "false_positive_rate" in payload:
+        stats.false_positive_rate = payload[  # type: ignore[attr-defined]
+            "false_positive_rate"
+        ]
+    return stats
+
+
+def save_stats(stats: SimStats, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(stats_to_record(stats)))
+
+
+def load_stats(path: PathLike) -> SimStats:
+    return stats_from_record(json.loads(Path(path).read_text()))
+
+
+# -- the persistent artifact store -------------------------------------------
+
+
+def artifact_key(kind: str, parts: Dict[str, Any]) -> str:
+    """A stable content hash identifying one artifact.
+
+    *parts* must be a JSON-serializable description of **everything**
+    the artifact depends on — the :class:`AppSpec`, the experiment
+    settings, the prefetcher configuration / plan contents and any
+    run parameters — so distinct parameter points can never alias
+    (sweep figures 17–19 and 21 rely on this).  The cache schema
+    version is folded in, so bumping :data:`CACHE_SCHEMA_VERSION`
+    invalidates every previously stored artifact.
+    """
+    canonical = json.dumps(
+        {"kind": kind, "schema": CACHE_SCHEMA_VERSION, "parts": parts},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def plan_fingerprint(plan: Optional[PrefetchPlan]) -> str:
+    """A content hash of a plan's exact instruction stream.
+
+    Two plans built from different configurations hash differently
+    even when their provenance metadata looks alike, which is what
+    keys simulation results by *what actually ran*.
+    """
+    if plan is None:
+        return "no-plan"
+    payload = plan_to_dict(plan)
+    # the display name doesn't change what the simulator executes
+    payload.pop("name", None)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+class ArtifactStore:
+    """Versioned on-disk cache of profiles, plans and sim results.
+
+    Layout::
+
+        <root>/v<CACHE_SCHEMA_VERSION>/
+            profiles/<key>.json.gz
+            plans/<key>.json
+            stats/<key>.json
+
+    Keys come from :func:`artifact_key`; the schema version appears in
+    both the directory name and the key material, so a version bump
+    cleanly orphans stale artifacts.  Reads treat any malformed or
+    wrong-version payload as a miss (the artifact is recomputed and
+    rewritten), and writes go through a temp file + ``os.replace`` so
+    concurrent workers never observe half-written entries.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.base = self.root / f"v{CACHE_SCHEMA_VERSION}"
+        for sub in ("profiles", "plans", "stats"):
+            (self.base / sub).mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # -- internals ----------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        suffix = ".json.gz" if kind == "profiles" else ".json"
+        return self.base / kind / f"{key}{suffix}"
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=path.name, suffix=".tmp", delete=False
+        )
+        try:
+            handle.write(data)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def _read_json(self, path: Path, compressed: bool) -> Optional[dict]:
+        try:
+            raw = path.read_bytes()
+            if compressed:
+                raw = gzip.decompress(raw)
+            return json.loads(raw.decode())
+        except (OSError, ValueError, EOFError):
+            return None
+
+    # -- queries ------------------------------------------------------
+
+    def has(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()
+
+    # -- profiles ------------------------------------------------------
+
+    def save_profile(self, key: str, profile: ExecutionProfile) -> None:
+        data = gzip.compress(json.dumps(profile_to_dict(profile)).encode())
+        self._write_atomic(self._path("profiles", key), data)
+
+    def load_profile(self, key: str) -> Optional[ExecutionProfile]:
+        payload = self._read_json(self._path("profiles", key), compressed=True)
+        if payload is None:
+            return None
+        try:
+            return profile_from_dict(payload)
+        except (FormatError, KeyError, TypeError):
+            return None
+
+    # -- plans ---------------------------------------------------------
+
+    def save_plan(self, key: str, plan: PrefetchPlan) -> None:
+        data = json.dumps(plan_to_dict(plan)).encode()
+        self._write_atomic(self._path("plans", key), data)
+
+    def load_plan(self, key: str) -> Optional[PrefetchPlan]:
+        payload = self._read_json(self._path("plans", key), compressed=False)
+        if payload is None:
+            return None
+        try:
+            return plan_from_dict(payload)
+        except (FormatError, KeyError, TypeError):
+            return None
+
+    # -- simulation results --------------------------------------------
+
+    def save_stats(self, key: str, stats: SimStats) -> None:
+        data = json.dumps(stats_to_record(stats)).encode()
+        self._write_atomic(self._path("stats", key), data)
+
+    def load_stats(self, key: str) -> Optional[SimStats]:
+        payload = self._read_json(self._path("stats", key), compressed=False)
+        if payload is None:
+            return None
+        try:
+            return stats_from_record(payload)
+        except (FormatError, KeyError, TypeError):
+            return None

@@ -100,14 +100,22 @@ class Cache:
         the data comes from and calls :meth:`fill` afterwards, so that
         fill timing and insertion priority stay in one place.
         """
-        lru = self._set_for(line)
+        # Inlined _set_for: this is the hottest call in the simulator
+        # (every fetched line of every block lands here first).
+        sets = self._sets
+        index = line % self.num_sets
+        lru = sets.get(index)
+        if lru is None:
+            lru = sets[index] = LRUStack(self.ways)
+        stats = self.stats
         if lru.touch(line):
-            self.stats.demand_hits += 1
-            if line in self._pending_prefetched:
-                self._pending_prefetched.discard(line)
-                self.stats.prefetch_hits += 1
+            stats.demand_hits += 1
+            pending = self._pending_prefetched
+            if line in pending:
+                pending.discard(line)
+                stats.prefetch_hits += 1
             return True
-        self.stats.demand_misses += 1
+        stats.demand_misses += 1
         return False
 
     def fill(self, line: int, source: str = InsertionPolicy.DEMAND) -> Optional[int]:

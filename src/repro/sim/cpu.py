@@ -59,26 +59,27 @@ class _ObservingFetchEngine(FetchEngine):
         stats = self.stats
         hierarchy = self.hierarchy
         engine = self.engine
+        l1i_access = hierarchy.l1i.access
+        lines = self._lines[block_id]
+        stats.l1i_accesses += len(lines)
         stall = 0.0
-        for line in self._lines[block_id]:
-            stats.l1i_accesses += 1
+        for line in lines:
             arrival = engine.arrival_of(line) if engine is not None else None
             if arrival is not None and arrival > now + stall:
                 remainder = arrival - (now + stall)
                 stall += remainder
                 stats.late_prefetch_hits += 1
                 stats.late_prefetch_stall_cycles += remainder
-                hierarchy.l1i.access(line)
+                l1i_access(line)
                 continue
-            result = hierarchy.fetch(line)
-            if result.was_l1_miss:
-                stats.l1i_misses += 1
-                stats.record_miss_level(result.level)
-                completion = hierarchy.fill_port.request(
-                    now + stall, result.level
-                )
-                stall = completion - now
-                self._observer.on_miss(self._index, block_id, line, now + stall)
+            if l1i_access(line):
+                continue
+            level = hierarchy.fill_after_l1_miss(line)
+            stats.l1i_misses += 1
+            stats.record_miss_level(level)
+            completion = hierarchy.fill_port.request(now + stall, level)
+            stall = completion - now
+            self._observer.on_miss(self._index, block_id, line, now + stall)
         return stall
 
 
@@ -173,11 +174,36 @@ class CoreSimulator:
             )
 
         data_traffic = None if self.ideal else self.data_traffic
+
+        # Hot-loop setup: resolve every per-iteration attribute lookup
+        # once.  The replay loop below runs hundreds of thousands of
+        # times per experiment; the sequence of simulated events is
+        # exactly the readable one-lookup-per-step formulation.
         hierarchy = self.hierarchy
+        fetch_block = fetch.fetch_block
+        on_block = observer.on_block if observer is not None else None
+        set_position = (
+            fetch.set_position if isinstance(fetch, _ObservingFetchEngine) else None
+        )
+        if engine is not None:
+            execute_site = engine.execute_site
+            site_blocks = engine.site_blocks
+            # retire_block only maintains conditional-prefetch history;
+            # for unconditional plans it is a per-block no-op — skip it.
+            retire_block = (
+                engine.retire_block if engine.needs_retire_events else None
+            )
+        else:
+            execute_site = None
+            site_blocks = ()
+            retire_block = None
+        advance_data = data_traffic.advance if data_traffic is not None else None
+        warmup_boundary = warmup if warmup > 0 else -1
+
         now = 0.0
         program_instructions = 0
-        for index, block_id in enumerate(trace):
-            if index == warmup and warmup > 0:
+        for index, block_id in enumerate(trace.block_ids):
+            if index == warmup_boundary:
                 # Steady state begins: drop the warmup counters but
                 # keep every piece of microarchitectural state.
                 stats.clear()
@@ -185,25 +211,25 @@ class CoreSimulator:
                 hierarchy.l2.stats.reset()
                 hierarchy.l3.stats.reset()
                 program_instructions = 0
-            if observer is not None:
-                observer.on_block(index, block_id, now)
-                if isinstance(fetch, _ObservingFetchEngine):
-                    fetch.set_position(index, block_id)
-            if engine is not None:
-                executed = engine.execute_site(block_id, now)
+            if on_block is not None:
+                on_block(index, block_id, now)
+                if set_position is not None:
+                    set_position(index, block_id)
+            if execute_site is not None and block_id in site_blocks:
+                executed = execute_site(block_id, now)
                 if executed:
                     now += executed * prefetch_cpi
-            stall = fetch.fetch_block(block_id, now)
+            stall = fetch_block(block_id, now)
             if stall:
                 stats.frontend_stall_cycles += stall
                 now += stall
             count = instr_counts[block_id]
             program_instructions += count
             now += count * cpi
-            if engine is not None:
-                engine.retire_block(block_id)
-            if data_traffic is not None:
-                data_traffic.advance(count, hierarchy)
+            if retire_block is not None:
+                retire_block(block_id)
+            if advance_data is not None:
+                advance_data(count, hierarchy)
 
         stats.program_instructions = program_instructions
         stats.compute_cycles = (

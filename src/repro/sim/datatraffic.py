@@ -64,15 +64,20 @@ class DataTrafficModel:
         if not count:
             return 0
         self._accumulator -= count
-        rng = self._rng
+        rng_random = self._rng.random
+        rng_randrange = self._rng.randrange
+        hot_weight = self.hot_weight
+        hot_lines = self.hot_lines
+        working_set = self.working_set_lines
+        data_access = hierarchy.data_access
         for _ in range(count):
             # An 80/20-style skew: most accesses hit a hot subset, the
             # rest sweep the full working set.
-            if rng.random() < self.hot_weight:
-                offset = rng.randrange(self.hot_lines)
+            if rng_random() < hot_weight:
+                offset = rng_randrange(hot_lines)
             else:
-                offset = rng.randrange(self.working_set_lines)
-            hierarchy.data_access(DATA_LINE_BASE + offset)
+                offset = rng_randrange(working_set)
+            data_access(DATA_LINE_BASE + offset)
         self.accesses += count
         return count
 

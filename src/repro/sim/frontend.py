@@ -45,35 +45,60 @@ class FetchEngine:
 
         Returns the stall cycles incurred.
         """
+        lines = self._lines[block_id]
+        stats = self.stats
         if self.ideal:
             # The theoretical upper bound: every access hits.
-            self.stats.l1i_accesses += len(self._lines[block_id])
+            stats.l1i_accesses += len(lines)
             return 0.0
+        if self.engine is None:
+            return self._fetch_no_engine(lines, now)
 
-        stats = self.stats
         hierarchy = self.hierarchy
-        engine = self.engine
+        arrival_of = self.engine.arrival_of
+        l1i_access = hierarchy.l1i.access
         stall = 0.0
 
-        for line in self._lines[block_id]:
-            stats.l1i_accesses += 1
-            arrival = engine.arrival_of(line) if engine is not None else None
+        stats.l1i_accesses += len(lines)
+        for line in lines:
+            arrival = arrival_of(line)
             if arrival is not None and arrival > now + stall:
                 # Prefetch still in flight: pay only the remainder.
                 remainder = arrival - (now + stall)
                 stall += remainder
                 stats.late_prefetch_hits += 1
                 stats.late_prefetch_stall_cycles += remainder
-                hierarchy.l1i.access(line)  # registers prefetch usefulness
+                l1i_access(line)  # registers prefetch usefulness
                 continue
-            result = hierarchy.fetch(line)
-            if result.was_l1_miss:
-                stats.l1i_misses += 1
-                stats.record_miss_level(result.level)
-                # queue on the fill port: latency + any backlog left
-                # behind by earlier (possibly useless) prefetch fills
-                completion = hierarchy.fill_port.request(
-                    now + stall, result.level
-                )
-                stall = completion - now
+            if l1i_access(line):
+                continue
+            level = hierarchy.fill_after_l1_miss(line)
+            stats.l1i_misses += 1
+            stats.record_miss_level(level)
+            # queue on the fill port: latency + any backlog left
+            # behind by earlier (possibly useless) prefetch fills
+            completion = hierarchy.fill_port.request(now + stall, level)
+            stall = completion - now
+        return stall
+
+    def _fetch_no_engine(self, lines, now: float) -> float:
+        """No-prefetch-plan fast path: demand fetches only.
+
+        With no engine there are no in-flight arrivals to consult, so
+        the per-line work collapses to one L1I probe; miss handling is
+        identical to the engine path.
+        """
+        stats = self.stats
+        stats.l1i_accesses += len(lines)
+        hierarchy = self.hierarchy
+        l1i_access = hierarchy.l1i.access
+        stall = 0.0
+        for line in lines:
+            if l1i_access(line):
+                continue
+            level = hierarchy.fill_after_l1_miss(line)
+            stats.l1i_misses += 1
+            stats.record_miss_level(level)
+            completion = hierarchy.fill_port.request(now + stall, level)
+            stall = completion - now
         return stall

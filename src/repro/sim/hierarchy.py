@@ -84,17 +84,29 @@ class MemoryHierarchy:
         """Demand-fetch an instruction cache line."""
         if self.l1i.access(line):
             return AccessResult("l1", 0, was_l1_miss=False)
+        level = self.fill_after_l1_miss(line)
+        return AccessResult(level, self.params.miss_penalty(level), True)
+
+    def fill_after_l1_miss(self, line: int) -> str:
+        """Walk L2→L3→memory after a demand L1I miss on *line*.
+
+        Fills every level above the hit (inclusive hierarchy) and
+        returns the hit level.  The fetch engine calls this directly on
+        its hot path — ``l1i.access`` then ``fill_after_l1_miss`` is
+        exactly :meth:`fetch` minus one :class:`AccessResult`
+        allocation per line.
+        """
         if self.l2.access(line):
             self.l1i.fill(line, InsertionPolicy.DEMAND)
-            return AccessResult("l2", self.params.miss_penalty("l2"), True)
+            return "l2"
         if self.l3.access(line):
             self.l2.fill(line, InsertionPolicy.DEMAND)
             self.l1i.fill(line, InsertionPolicy.DEMAND)
-            return AccessResult("l3", self.params.miss_penalty("l3"), True)
+            return "l3"
         self.l3.fill(line, InsertionPolicy.DEMAND)
         self.l2.fill(line, InsertionPolicy.DEMAND)
         self.l1i.fill(line, InsertionPolicy.DEMAND)
-        return AccessResult("memory", self.params.miss_penalty("memory"), True)
+        return "memory"
 
     def data_access(self, line: int) -> str:
         """A data-side load into the unified L2/L3 (bypasses the L1I).

@@ -51,6 +51,10 @@ class PrefetchEngine:
         #: line -> cycle at which a previously issued prefetch arrives
         self.inflight: Dict[int, float] = {}
         self._site_table = plan.site_table()
+        #: blocks that carry injected instructions — the replay loop
+        #: consults this set so non-site blocks (the vast majority)
+        #: skip the per-block call entirely
+        self.site_blocks = frozenset(self._site_table)
 
         self.track_exact_context = track_exact_context
         self._exact_history: Optional[Deque[int]] = (
@@ -97,8 +101,10 @@ class PrefetchEngine:
         stats = self.stats
         hierarchy = self.hierarchy
         inflight = self.inflight
+        l1i_contains = hierarchy.l1i.contains
+        fill_port_request = hierarchy.fill_port.request
         for line in lines:
-            if line in inflight or hierarchy.l1i.contains(line):
+            if line in inflight or l1i_contains(line):
                 # resident or already racing towards the cache
                 stats.prefetches_resident += 1
                 continue
@@ -107,11 +113,21 @@ class PrefetchEngine:
             stats.prefetches_issued += 1
             # every issued prefetch occupies the finite fill port —
             # useless ones delay the demand fills queued behind them
-            arrival = hierarchy.fill_port.request(now, level)
+            arrival = fill_port_request(now, level)
             if arrival > now:
                 inflight[line] = arrival
 
     # -- history maintenance ----------------------------------------------
+
+    @property
+    def needs_retire_events(self) -> bool:
+        """Whether :meth:`retire_block` does anything for this plan.
+
+        Only conditional plans maintain runtime-hash / exact-context
+        history; for unconditional plans the replay loop can skip the
+        per-block call.
+        """
+        return self.tracker is not None or self._exact_history is not None
 
     def retire_block(self, block_id: int) -> None:
         """Push a retired block into the LBR-based runtime-hash."""

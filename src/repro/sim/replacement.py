@@ -43,11 +43,18 @@ class LRUStack:
 
         Returns True if the tag was resident.
         """
+        stack = self._stack
+        # Hot path: consecutive fetches overwhelmingly hit the line
+        # that is already most-recently-used (blocks of a function are
+        # laid out contiguously), so check the MRU slot before paying
+        # for a list scan + remove + insert.
+        if stack and stack[0] == tag:
+            return True
         try:
-            self._stack.remove(tag)
+            stack.remove(tag)
         except ValueError:
             return False
-        self._stack.insert(0, tag)
+        stack.insert(0, tag)
         return True
 
     def insert(self, tag: int, depth: int = 0) -> Optional[int]:

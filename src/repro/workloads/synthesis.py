@@ -162,6 +162,10 @@ class SyntheticApp:
                 "input": input_name,
                 "seed": walk_seed,
                 "length": length,
+                # the actual mix replayed, so traces with the same
+                # input name but different mixes stay distinguishable
+                # (artifact-cache keys hash this metadata)
+                "mix": tuple(mix) if mix is not None else None,
             },
         )
 

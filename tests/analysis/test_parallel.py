@@ -1,0 +1,182 @@
+"""Parallel evaluation and artifact-cache integration tests.
+
+The contract under test: whatever the job count and whatever the
+cache state, an (app, variant) simulation yields bit-identical
+statistics — and a warm cache replaces simulation entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    DEFAULT_PREWARM_VARIANTS,
+    Evaluator,
+    ExperimentSettings,
+)
+from repro.analysis.jobs import resolve_jobs
+from repro.io import ArtifactStore, stats_to_record
+from repro.perf import PerfRegistry
+
+APPS = ("wordpress", "kafka")
+VARIANTS = ("baseline", "ideal", "asmdb", "ispy")
+
+SETTINGS = ExperimentSettings(
+    profile_length=12_000, eval_length=15_000, warmup=3_000, scale=0.25
+)
+
+
+@pytest.fixture(scope="module")
+def serial_evaluator():
+    evaluator = Evaluator(SETTINGS)
+    evaluator.prewarm(apps=APPS, variants=VARIANTS)
+    return evaluator
+
+
+@pytest.fixture(scope="module")
+def serial_records(serial_evaluator):
+    return {
+        (name, variant): stats_to_record(
+            serial_evaluator[name].stats_for(variant)
+        )
+        for name in APPS
+        for variant in VARIANTS
+    }
+
+
+class TestParallelEqualsSerial:
+    def test_two_workers_bit_identical(self, serial_records):
+        evaluator = Evaluator(SETTINGS, jobs=2)
+        evaluator.prewarm(apps=APPS, variants=VARIANTS)
+        for name in APPS:
+            for variant in VARIANTS:
+                assert (
+                    stats_to_record(evaluator[name].stats_for(variant))
+                    == serial_records[(name, variant)]
+                ), f"{name}/{variant} diverged under jobs=2"
+
+    def test_parallel_prewarm_populates_memory_caches(self):
+        evaluator = Evaluator(SETTINGS, jobs=2)
+        evaluator.prewarm(apps=["wordpress"], variants=VARIANTS)
+        perf = PerfRegistry()
+        evaluator.perf = perf
+        for evaluation in evaluator._apps.values():
+            evaluation.perf = perf
+        # every variant must now come from the in-memory/persistent
+        # caches — no further simulation in the parent
+        for variant in VARIANTS:
+            evaluator["wordpress"].stats_for(variant)
+        assert perf.calls("simulate") == 0
+
+    def test_ephemeral_store_created_for_parallel_runs(self):
+        evaluator = Evaluator(SETTINGS, jobs=2)
+        assert evaluator.store is None
+        evaluator._ensure_store()
+        assert isinstance(evaluator.store, ArtifactStore)
+        assert evaluator._ephemeral_store is not None
+
+
+class TestPersistentWarmRun:
+    def test_second_run_skips_profiling_and_simulation(
+        self, tmp_path, serial_records
+    ):
+        cold_perf = PerfRegistry()
+        cold = Evaluator(SETTINGS, store=tmp_path / "cache", perf=cold_perf)
+        cold.prewarm(apps=["wordpress"], variants=VARIANTS)
+        assert cold_perf.calls("simulate") == len(VARIANTS)
+        assert cold_perf.calls("profile") == 1
+
+        warm_perf = PerfRegistry()
+        warm = Evaluator(SETTINGS, store=tmp_path / "cache", perf=warm_perf)
+        warm.prewarm(apps=["wordpress"], variants=VARIANTS)
+        assert warm_perf.calls("simulate") == 0
+        assert warm_perf.calls("profile") == 0
+        assert warm_perf.calls("synthesize") == 0
+        assert warm_perf.calls("store-hit:stats") == len(VARIANTS)
+        for variant in VARIANTS:
+            assert (
+                stats_to_record(warm["wordpress"].stats_for(variant))
+                == serial_records[("wordpress", variant)]
+            )
+
+
+class TestKeyGranularity:
+    """Sweep points must never alias each other's cached artifacts."""
+
+    def evaluation(self):
+        return Evaluator(SETTINGS)["wordpress"]
+
+    def test_key_depends_on_settings(self):
+        a = self.evaluation()
+        b = Evaluator(
+            ExperimentSettings(
+                profile_length=12_000,
+                eval_length=15_000,
+                warmup=4_000,  # only the warmup differs
+                scale=0.25,
+            )
+        )["wordpress"]
+        assert a._stats_key(None, 16, False, None) != b._stats_key(
+            None, 16, False, None
+        )
+
+    def test_key_depends_on_run_parameters(self):
+        ev = self.evaluation()
+        base = ev._stats_key(None, 16, False, None)
+        assert ev._stats_key(None, 8, False, None) != base
+        assert ev._stats_key(None, 16, True, None) != base
+        assert ev._stats_key(None, 16, False, None, ideal=True) != base
+
+    def test_key_depends_on_trace_identity(self):
+        ev = self.evaluation()
+        app = ev.app
+        t1 = app.trace(2_000, seed=1, input_name="a")
+        t2 = app.trace(2_000, seed=2, input_name="a")
+        t3 = app.trace(2_000, seed=1, input_name="b")
+        keys = {
+            ev._stats_key(None, 16, False, t)
+            for t in (None, t1, t2, t3)
+        }
+        assert len(keys) == 4
+
+    def test_plan_keys_depend_on_planner_parameters(self):
+        ev = self.evaluation()
+        assert ev._asmdb_plan_key(0.90) != ev._asmdb_plan_key(0.95)
+        from repro.core.config import DEFAULT_CONFIG
+
+        assert ev._ispy_plan_key(DEFAULT_CONFIG) != ev._ispy_plan_key(
+            DEFAULT_CONFIG.conditional_only()
+        )
+
+    def test_sweep_stats_do_not_alias(self, tmp_path):
+        """Fig. 3-style sweep: distinct thresholds, distinct artifacts."""
+        perf = PerfRegistry()
+        evaluator = Evaluator(SETTINGS, store=tmp_path / "cache", perf=perf)
+        ev = evaluator["wordpress"]
+        low = ev.run_plan(ev.asmdb_plan(0.5))
+        high = ev.run_plan(ev.asmdb_plan(0.99))
+        # the two planner outputs genuinely differ, and so must the
+        # cached stats entries (no aliasing between sweep points)
+        assert stats_to_record(low) != stats_to_record(high)
+        assert perf.calls("simulate") == 2
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(-2) >= 1
+
+
+def test_default_prewarm_variants_are_known():
+    evaluator = Evaluator(SETTINGS)
+    evaluation = evaluator["wordpress"]
+    for variant in DEFAULT_PREWARM_VARIANTS:
+        # stats_for would raise KeyError on an unknown name; probing
+        # the dispatch table must not require running simulations
+        assert variant in (
+            "baseline", "ideal", "asmdb", "ispy", "ispy-conditional",
+            "ispy-coalescing", "contiguous8", "noncontiguous8", "nextline",
+        )
+    assert evaluation.name == "wordpress"

@@ -1,0 +1,99 @@
+"""Tests for the per-stage timing registry (repro.perf)."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.perf import REGISTRY, PerfRegistry, registry
+
+
+class TestStageCounter:
+    def test_stage_accumulates_calls_seconds_units(self):
+        reg = PerfRegistry()
+        with reg.stage("simulate", units=100):
+            pass
+        with reg.stage("simulate", units=50):
+            time.sleep(0.002)
+        entry = reg.counter("simulate")
+        assert entry.calls == 2
+        assert entry.units == 150
+        assert entry.seconds > 0.0
+
+    def test_stage_records_time_on_exception(self):
+        reg = PerfRegistry()
+        try:
+            with reg.stage("simulate"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert reg.calls("simulate") == 1
+
+    def test_count_is_instantaneous(self):
+        reg = PerfRegistry()
+        reg.count("store-hit:stats")
+        reg.count("store-hit:stats")
+        assert reg.calls("store-hit:stats") == 2
+        assert reg.seconds("store-hit:stats") == 0.0
+
+    def test_units_per_second(self):
+        reg = PerfRegistry()
+        reg.add("simulate", seconds=2.0, units=100)
+        assert reg.counter("simulate").units_per_second == 50.0
+
+    def test_missing_counter_accessors_default_to_zero(self):
+        reg = PerfRegistry()
+        assert reg.calls("nope") == 0
+        assert reg.seconds("nope") == 0.0
+        assert reg.units("nope") == 0
+
+
+class TestSnapshotMerge:
+    def test_snapshot_roundtrip_through_pickle(self):
+        reg = PerfRegistry()
+        reg.add("profile", seconds=1.5, units=1000)
+        snapshot = pickle.loads(pickle.dumps(reg.snapshot()))
+        other = PerfRegistry()
+        other.merge(snapshot)
+        assert other.calls("profile") == 1
+        assert other.seconds("profile") == 1.5
+        assert other.units("profile") == 1000
+
+    def test_merge_accumulates_into_existing(self):
+        parent = PerfRegistry()
+        parent.add("simulate", seconds=1.0, units=10)
+        worker = PerfRegistry()
+        worker.add("simulate", seconds=2.0, units=20)
+        worker.add("profile", seconds=0.5)
+        parent.merge(worker.snapshot())
+        assert parent.calls("simulate") == 2
+        assert parent.seconds("simulate") == 3.0
+        assert parent.units("simulate") == 30
+        assert parent.calls("profile") == 1
+
+    def test_reset(self):
+        reg = PerfRegistry()
+        reg.count("x")
+        reg.reset()
+        assert reg.calls("x") == 0
+
+
+class TestReport:
+    def test_report_lists_stages_and_total(self):
+        reg = PerfRegistry()
+        reg.add("simulate", seconds=2.0, units=100)
+        reg.count("store-hit:stats")
+        text = reg.report()
+        assert "simulate" in text
+        assert "store-hit:stats" in text
+        assert "total" in text
+        assert "2.000" in text
+
+    def test_report_on_empty_registry(self):
+        assert "total" in PerfRegistry().report()
+
+
+def test_registry_helper_prefers_override():
+    override = PerfRegistry()
+    assert registry(override) is override
+    assert registry(None) is REGISTRY
