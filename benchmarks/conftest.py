@@ -13,6 +13,7 @@ EXPERIMENTS.md records those tables.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -41,3 +42,9 @@ def results_dir():
 def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
     (results_dir / f"{name}.txt").write_text(text + "\n")
     print("\n" + text)
+
+
+def write_json(results_dir: pathlib.Path, name: str, payload: dict) -> None:
+    """Machine-readable companion to :func:`write_result`."""
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

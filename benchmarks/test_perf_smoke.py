@@ -1,51 +1,177 @@
-"""Simulator throughput smoke benchmark.
+"""End-to-end pipeline smoke benchmark: columnar kernel vs reference.
 
-Records replay throughput (blocks/sec) for one small application
-under the three replay modes the harness spends its time in — the
-no-plan baseline fast path, AsmDB replay and I-SPY replay — so
-regressions in the simulator's hot loops show up as a number, not a
-vague "the suite got slower".
+Times the profile → plan → simulate pipeline twice — once on the
+pure-Python reference paths, once on the columnar NumPy kernel — and
+records both the human-readable table and a machine-readable
+``BENCH_perf_smoke.json`` (stage seconds, blocks/sec, speedups) so the
+perf trajectory is tracked across PRs.
+
+Workload synthesis and trace generation are performed once, outside
+the timed region: they are input preparation shared verbatim by both
+backends (the harness's own ``perf.stage`` boundaries make the same
+cut).  The two backends produce bit-identical profiles, plans and
+statistics — that equivalence is asserted here as well as in the
+differential test suite — so this benchmark measures speed and only
+speed.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro import kernel
 from repro.analysis.experiments import Evaluator, ExperimentSettings
 from repro.analysis.reporting import render_table
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.ispy import build_ispy_plan
+from repro.profiling.profiler import profile_execution
 from repro.sim.cpu import CoreSimulator
 
-from .conftest import write_result
+from .conftest import write_json, write_result
 
-SETTINGS = ExperimentSettings.small()
+SETTINGS = ExperimentSettings()
 REPEATS = 3
+STAGES = ("profile", "plan", "simulate")
 
 
-def _replay_seconds(evaluation, plan) -> float:
-    """Best-of-N wall time for one evaluation-trace replay."""
-    trace = evaluation.eval_trace
-    best = float("inf")
-    for _ in range(REPEATS):
-        core = CoreSimulator(
-            evaluation.app.program,
-            plan=plan,
-            data_traffic=evaluation._eval_data_traffic(),
+def _pipeline_seconds(evaluation, backend) -> tuple:
+    """One timed profile→plan→simulate run; returns stage seconds."""
+    app = evaluation.app
+    profile_trace = app.trace(SETTINGS.profile_length)
+    eval_trace = evaluation.eval_trace
+    with backend():
+        t0 = time.perf_counter()
+        profile = profile_execution(
+            app.program, profile_trace, data_traffic=app.data_traffic()
         )
-        started = time.perf_counter()
-        core.run(trace, warmup=evaluation.settings.warmup)
-        best = min(best, time.perf_counter() - started)
-    return best
+        t1 = time.perf_counter()
+        plan = build_ispy_plan(app.program, profile, DEFAULT_CONFIG).plan
+        t2 = time.perf_counter()
+        core = CoreSimulator(
+            app.program, data_traffic=evaluation._eval_data_traffic()
+        )
+        stats = core.run(eval_trace, warmup=SETTINGS.warmup)
+    return (t1 - t0, t2 - t1, time.perf_counter() - t2), plan, stats
+
+
+def test_pipeline_speedup(results_dir):
+    evaluation = Evaluator(SETTINGS)["wordpress"]
+    backends = {
+        "reference": kernel.reference_path,
+        "columnar": kernel.force_numpy_kernel,
+    }
+
+    best = {name: None for name in backends}
+    outputs = {}
+    for _ in range(REPEATS):
+        for name, backend in backends.items():
+            seconds, plan, stats = _pipeline_seconds(evaluation, backend)
+            previous = best[name]
+            best[name] = (
+                seconds
+                if previous is None
+                else tuple(min(a, b) for a, b in zip(previous, seconds))
+            )
+            outputs[name] = (list(plan), stats)
+
+    # Same plan, same stats — the backends differ in speed only.
+    assert outputs["reference"][0] == outputs["columnar"][0]
+    assert outputs["reference"][1] == outputs["columnar"][1]
+
+    totals = {name: sum(seconds) for name, seconds in best.items()}
+    speedup = totals["reference"] / totals["columnar"]
+    stage_units = {
+        "profile": SETTINGS.profile_length,
+        "plan": 0,
+        "simulate": SETTINGS.eval_length,
+    }
+
+    rows = []
+    payload = {
+        "app": "wordpress",
+        "settings": {
+            "profile_blocks": SETTINGS.profile_length,
+            "eval_blocks": SETTINGS.eval_length,
+            "warmup": SETTINGS.warmup,
+            "scale": SETTINGS.scale,
+        },
+        "repeats": REPEATS,
+        "stages": {},
+        "end_to_end": {
+            "reference_seconds": totals["reference"],
+            "columnar_seconds": totals["columnar"],
+            "speedup": speedup,
+        },
+    }
+    for index, stage in enumerate(STAGES):
+        ref = best["reference"][index]
+        col = best["columnar"][index]
+        units = stage_units[stage]
+        payload["stages"][stage] = {
+            "reference_seconds": ref,
+            "columnar_seconds": col,
+            "speedup": ref / col,
+            "blocks": units,
+            "reference_blocks_per_sec": units / ref if units else None,
+            "columnar_blocks_per_sec": units / col if units else None,
+        }
+        rows.append(
+            {
+                "stage": stage,
+                "reference_s": f"{ref:.3f}",
+                "columnar_s": f"{col:.3f}",
+                "speedup": f"{ref / col:.2f}x",
+                "col_blocks_per_sec": int(units / col) if units else "-",
+            }
+        )
+    rows.append(
+        {
+            "stage": "end-to-end",
+            "reference_s": f"{totals['reference']:.3f}",
+            "columnar_s": f"{totals['columnar']:.3f}",
+            "speedup": f"{speedup:.2f}x",
+            "col_blocks_per_sec": "-",
+        }
+    )
+
+    write_result(
+        results_dir,
+        "perf_smoke",
+        render_table(
+            rows, title="pipeline speedup, columnar vs reference (wordpress)"
+        ),
+    )
+    write_json(results_dir, "perf_smoke", payload)
+
+    # The tentpole acceptance bar: the columnar kernel must at least
+    # halve the profile→plan→simulate wall time.
+    assert speedup >= 2.0
 
 
 def test_replay_throughput(results_dir):
-    evaluation = Evaluator(SETTINGS)["wordpress"]
-    blocks = len(evaluation.eval_trace)
+    """Engine-driven replay throughput (plans run the reference loop)."""
+    evaluation = Evaluator(ExperimentSettings.small())["wordpress"]
+    trace = evaluation.eval_trace
+    blocks = len(trace)
 
-    timings = {
-        "no-plan": _replay_seconds(evaluation, None),
-        "asmdb": _replay_seconds(evaluation, evaluation.asmdb_plan()),
-        "ispy": _replay_seconds(evaluation, evaluation.ispy_plan()),
-    }
+    timings = {}
+    for mode, plan in (
+        ("no-plan", None),
+        ("asmdb", evaluation.asmdb_plan()),
+        ("ispy", evaluation.ispy_plan()),
+    ):
+        bench_best = float("inf")
+        for _ in range(REPEATS):
+            core = CoreSimulator(
+                evaluation.app.program,
+                plan=plan,
+                data_traffic=evaluation._eval_data_traffic(),
+            )
+            started = time.perf_counter()
+            core.run(trace, warmup=evaluation.settings.warmup)
+            bench_best = min(bench_best, time.perf_counter() - started)
+        timings[mode] = bench_best
+
     rows = [
         {
             "mode": mode,
@@ -56,7 +182,7 @@ def test_replay_throughput(results_dir):
     ]
     write_result(
         results_dir,
-        "perf_smoke",
+        "replay_throughput",
         render_table(rows, title="replay throughput (wordpress, small)"),
     )
 
@@ -64,6 +190,6 @@ def test_replay_throughput(results_dir):
     assert all(row["blocks_per_sec"] > 2_000 for row in rows)
     # the no-plan fast path must not be slower than engine-driven
     # replay (10% tolerance for timer noise) — if it is, the fast
-    # path in FetchEngine.fetch_block has stopped being taken
+    # path has stopped being taken
     assert timings["no-plan"] <= timings["ispy"] * 1.10
     assert timings["no-plan"] <= timings["asmdb"] * 1.10

@@ -22,9 +22,11 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from . import kernel
 from .analysis import experiments as exp
 from .analysis.reporting import percent, render_table
 from .workloads.apps import APP_NAMES
@@ -92,9 +94,19 @@ def _add_perf_options(
         "--timing", action="store_true",
         help="print per-stage timing and cache-hit counters at the end",
     )
+    parser.add_argument(
+        "--no-numpy-kernel", action="store_true",
+        help="force the pure-Python reference paths (disables the "
+        "columnar NumPy kernel; results are identical either way)",
+    )
 
 
 def _evaluator(args: argparse.Namespace) -> exp.Evaluator:
+    if getattr(args, "no_numpy_kernel", False):
+        kernel.set_numpy_kernel(False)
+        # Simulation workers are separate processes; the environment
+        # variable carries the choice across the spawn boundary.
+        os.environ[kernel.NUMPY_KERNEL_ENV] = "0"
     cache = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
     return exp.Evaluator(
         _settings(args),

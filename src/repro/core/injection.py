@@ -20,7 +20,14 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..cfg.fanout import label_occurrences, path_fanout, sites_in_window
+from .. import kernel
+from ..cfg.fanout import (
+    candidate_fanout,
+    label_occurrences,
+    path_fanout,
+    sites_in_window,
+    window_entries,
+)
 from ..profiling.profiler import ExecutionProfile
 from .config import ISpyConfig
 
@@ -67,6 +74,10 @@ def rank_candidates(
     samples = profile.samples_for_line(line)
     if not samples:
         return []
+    if kernel.numpy_enabled():
+        return _rank_candidates_columnar(
+            profile, line, samples, config, max_candidates, distance_estimator
+        )
 
     appearance: Counter = Counter()
     distance_sum: Dict[int, float] = {}
@@ -96,6 +107,65 @@ def rank_candidates(
             )
         )
     # O(n log n): best coverage first, fan-out breaks ties.
+    candidates.sort(key=lambda c: (-c.coverage, c.fanout))
+    return candidates
+
+
+def _rank_candidates_columnar(
+    profile: ExecutionProfile,
+    line: int,
+    samples,
+    config: ISpyConfig,
+    max_candidates: int,
+    distance_estimator: str,
+) -> List[CandidateSite]:
+    """Array form of candidate ranking.
+
+    One :func:`window_entries` pass replaces the per-sample window
+    scans.  ``Counter.most_common`` sorts by count and breaks ties by
+    insertion (first-seen) order; ``lexsort`` over ``(-count,
+    first_seen)`` reproduces that ordering with integer keys.  The
+    per-block distance totals are accumulated in a Python loop in
+    entry order, because a vectorized reduction would reassociate the
+    float additions that reach the plan through ``mean_distance``.
+    """
+    import numpy as np
+
+    blocks, distances = window_entries(
+        profile,
+        [sample.trace_index for sample in samples],
+        config.min_prefetch_distance,
+        config.max_prefetch_distance,
+        estimator=distance_estimator,
+    )
+    if not len(blocks):
+        return []
+    unique_blocks, first_seen, counts = np.unique(
+        blocks, return_index=True, return_counts=True
+    )
+    top = np.lexsort((first_seen, -counts))[:max_candidates]
+
+    wanted = set(unique_blocks[top].tolist())
+    distance_sum: Dict[int, float] = {}
+    for block, distance in zip(blocks.tolist(), distances.tolist()):
+        if block in wanted:
+            distance_sum[block] = distance_sum.get(block, 0.0) + distance
+
+    total = len(samples)
+    candidates: List[CandidateSite] = []
+    for position in top.tolist():
+        block = int(unique_blocks[position])
+        count = int(counts[position])
+        candidates.append(
+            CandidateSite(
+                block_id=block,
+                coverage=count / total,
+                fanout=candidate_fanout(
+                    profile, block, line, config.max_prefetch_distance
+                ),
+                mean_distance=distance_sum[block] / count,
+            )
+        )
     candidates.sort(key=lambda c: (-c.coverage, c.fanout))
     return candidates
 

@@ -24,8 +24,9 @@ lint-grade warnings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import FrozenSet, List
 
+from .. import kernel
 from ..sim.trace import Program
 from .instructions import PrefetchPlan
 
@@ -46,6 +47,32 @@ class PlanIssue:
         return self.kind in ERROR_KINDS
 
 
+def _text_lines(program: Program) -> FrozenSet[int]:
+    """Every code line of *program*, cached on the program object.
+
+    The union is identical either way; the columnar view just derives
+    it from the already-flattened line table instead of 100k+ tuple
+    materializations.
+    """
+    cached = getattr(program, "_text_lines", None)
+    if cached is None:
+        if kernel.numpy_enabled():
+            import numpy as np
+
+            from ..sim.columnar import columnar_view
+
+            cached = frozenset(
+                np.unique(columnar_view(program).line_data).tolist()
+            )
+        else:
+            lines = set()
+            for block in program:
+                lines.update(block.lines)
+            cached = frozenset(lines)
+        program._text_lines = cached
+    return cached
+
+
 def validate_plan(
     plan: PrefetchPlan,
     program: Program,
@@ -54,9 +81,7 @@ def validate_plan(
     """Check *plan* against *program*; returns findings (empty = clean)."""
     issues: List[PlanIssue] = []
 
-    text_lines: Set[int] = set()
-    for block in program:
-        text_lines.update(block.lines)
+    text_lines = _text_lines(program)
 
     for site in plan.sites():
         instrs = plan.at_site(site)

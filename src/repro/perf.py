@@ -116,16 +116,19 @@ class PerfRegistry:
         entry = self.counters.get(name)
         return entry.units if entry else 0
 
+    def total_seconds(self) -> float:
+        """Wall-clock work recorded across every stage."""
+        return sum(entry.seconds for entry in self.counters.values())
+
     # -- reporting ------------------------------------------------------
 
     def report(self, title: str = "per-stage timing") -> str:
         """Render the counters as an aligned text table."""
         header = ("stage", "calls", "seconds", "units", "units/sec")
         rows = [header]
-        total_seconds = 0.0
+        total_seconds = self.total_seconds()
         for name in sorted(self.counters):
             entry = self.counters[name]
-            total_seconds += entry.seconds
             rows.append(
                 (
                     name,

@@ -22,12 +22,73 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import kernel
 from ..sim.cpu import TraceObserver, simulate
 from ..sim.params import MachineParams
 from ..sim.stats import SimStats
 from ..sim.trace import BlockTrace, Program
 from .lbr import LBR_DEPTH
 from .pebs import MissSample, PEBSSampler
+
+
+class ProfileArrays:
+    """Columnar mirror of an :class:`ExecutionProfile`.
+
+    Built lazily (and cached) the first time an array consumer asks;
+    the object-model lists stay the API and the serialized form.
+    """
+
+    def __init__(self, profile: "ExecutionProfile"):
+        import numpy as np
+
+        self.np = np
+        self.block_ids = np.asarray(profile.block_ids, dtype=np.int64)
+        self.block_cycles = np.asarray(profile.block_cycles, dtype=np.float64)
+        self.cumulative_instructions = np.asarray(
+            profile.cumulative_instructions, dtype=np.int64
+        )
+        #: scratch cache for per-site context windows (see
+        #: repro.core.context._predictor_pool_columnar)
+        self.window_cache: Dict[Tuple[int, int, int], tuple] = {}
+        # CSR of per-block occurrence positions (ascending per block).
+        order = np.argsort(self.block_ids, kind="stable")
+        sorted_ids = self.block_ids[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+        )
+        ends = np.concatenate((boundaries[1:], [len(sorted_ids)]))
+        self._occurrences = {
+            int(sorted_ids[start]): order[start:end]
+            for start, end in zip(boundaries, ends)
+        }
+        # Per-line miss samples (trace indices ascending, as recorded).
+        lines: Dict[int, Tuple[List[int], List[float]]] = {}
+        for sample in profile.miss_samples:
+            entry = lines.setdefault(sample.line, ([], []))
+            entry[0].append(sample.trace_index)
+            entry[1].append(sample.cycle)
+        self._line_samples = {
+            line: (
+                np.asarray(indices, dtype=np.int64),
+                np.asarray(cycles, dtype=np.float64),
+            )
+            for line, (indices, cycles) in lines.items()
+        }
+        self._empty = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+
+    def occurrences_of(self, block_id: int):
+        """Trace indices where *block_id* executed (ascending array)."""
+        positions = self._occurrences.get(block_id)
+        if positions is None:
+            return self.np.zeros(0, dtype=self.np.int64)
+        return positions
+
+    def line_samples(self, line: int):
+        """(trace_index[], cycle[]) of the sampled misses of *line*."""
+        return self._line_samples.get(line, self._empty)
 
 
 @dataclass
@@ -138,6 +199,21 @@ class ExecutionProfile:
             return candidate
         return None
 
+    # -- columnar view ---------------------------------------------------
+
+    def arrays(self) -> "ProfileArrays":
+        """The cached :class:`ProfileArrays` mirror of this profile.
+
+        Stored as a non-field attribute so serialization (``asdict``)
+        and equality are untouched.  Callers must check
+        :func:`repro.kernel.numpy_enabled` first.
+        """
+        view = getattr(self, "_profile_arrays", None)
+        if view is None:
+            view = ProfileArrays(self)
+            self._profile_arrays = view
+        return view
+
     # -- summary ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -170,6 +246,23 @@ def profile_execution(
     data_traffic=None,
 ) -> ExecutionProfile:
     """Profile one execution of *trace* (no prefetching active)."""
+    if kernel.numpy_enabled():
+        return _profile_execution_columnar(
+            program, trace, machine, sample_period, data_traffic
+        )
+    return _profile_execution_reference(
+        program, trace, machine, sample_period, data_traffic
+    )
+
+
+def _profile_execution_reference(
+    program: Program,
+    trace: BlockTrace,
+    machine: Optional[MachineParams],
+    sample_period: int,
+    data_traffic,
+) -> ExecutionProfile:
+    """Observer-based profiling replay (the semantic oracle)."""
     observer = _ProfilingObserver(sample_period)
     stats = simulate(
         program,
@@ -199,5 +292,92 @@ def profile_execution(
         edge_counts=edge_counts,
         block_counts=block_counts,
         cumulative_instructions=cumulative,
+        baseline_stats=stats,
+    )
+
+
+def _profile_execution_columnar(
+    program: Program,
+    trace: BlockTrace,
+    machine: Optional[MachineParams],
+    sample_period: int,
+    data_traffic,
+) -> ExecutionProfile:
+    """Array-kernel profiling: one recorded replay, no observer.
+
+    Produces the identical :class:`ExecutionProfile` to the reference:
+    the replay events come from the bit-identical array replay, and
+    PEBS period-``N`` sampling is the every-``N``-th-miss slice
+    ``misses[N-1::N]`` (the countdown in :class:`PEBSSampler` fires on
+    the ``N``-th event first).
+    """
+    import numpy as np
+
+    from ..sim.array_replay import array_replay
+    from ..sim.columnar import columnar_view
+
+    machine = machine or MachineParams()
+    stats = SimStats()
+    events = array_replay(
+        program,
+        trace,
+        machine,
+        stats,
+        data_traffic=data_traffic,
+        record_events=True,
+    )
+
+    step = sample_period
+    if step <= 0:
+        raise ValueError("sample_period must be positive")
+    miss_samples = [
+        MissSample(index, block, line, cycle)
+        for index, block, line, cycle in zip(
+            events.miss_trace_index[step - 1 :: step].tolist(),
+            events.miss_block_ids[step - 1 :: step].tolist(),
+            events.miss_lines[step - 1 :: step].tolist(),
+            events.miss_cycles[step - 1 :: step].tolist(),
+        )
+    ]
+
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    num_blocks = view.num_blocks
+    ids = view.block_ids
+
+    row_counts = np.bincount(rows, minlength=num_blocks)
+    block_counts: Counter = Counter(
+        {
+            int(ids[row]): int(count)
+            for row, count in enumerate(row_counts.tolist())
+            if count
+        }
+    )
+    if len(rows) > 1:
+        encoded = rows[:-1] * num_blocks + rows[1:]
+        pairs, pair_counts = np.unique(encoded, return_counts=True)
+        src = ids[pairs // num_blocks].tolist()
+        dst = ids[pairs % num_blocks].tolist()
+        edge_counts: Counter = Counter(
+            {
+                (s, d): int(count)
+                for s, d, count in zip(src, dst, pair_counts.tolist())
+            }
+        )
+    else:
+        edge_counts = Counter()
+
+    instr = view.instruction_counts[rows]
+    cumulative = np.zeros(len(rows), dtype=np.int64)
+    np.cumsum(instr[:-1], out=cumulative[1:])
+
+    return ExecutionProfile(
+        program_name=program.name,
+        block_ids=list(trace.block_ids),
+        block_cycles=events.block_cycles.tolist(),
+        miss_samples=miss_samples,
+        edge_counts=edge_counts,
+        block_counts=block_counts,
+        cumulative_instructions=cumulative.tolist(),
         baseline_stats=stats,
     )

@@ -1,0 +1,515 @@
+"""Array replay: the columnar no-observer fast path.
+
+Replays a :class:`BlockTrace` over the Table I hierarchy and produces
+**bit-identical** :class:`SimStats` to :class:`CoreSimulator`'s
+per-event reference loop, for runs with no prefetch plan and no
+observer hooks (the baseline, ideal and profiling replays — the bulk
+of every harness pass).
+
+The decomposition exploits the fact that, without prefetches, every
+cache level is plain LRU-with-demand-fill and the three levels are
+connected only through their access *streams*:
+
+1. the L1I access stream is a CSR gather of each executed block's
+   cache lines (``repro.sim.columnar``);
+2. exact per-access LRU outcomes come from a compact set-associative
+   sweep (:func:`_lru_stream`) — LRU state is inherently sequential,
+   so this stays a lean Python loop over flat arrays, everything
+   around it is vectorized;
+3. the L2 stream merges instruction L1 misses with the data-traffic
+   stream (replayed through the *real* :class:`DataTrafficModel`, so
+   the RNG and fractional-accumulator sequences match exactly), and
+   the L3 stream is the L2 misses — each solved by the same sweep;
+4. timing replays the reference loop's float operations in the exact
+   same order: per-block ``now += count * cpi`` advances are sequential
+   ``np.add.accumulate`` segments (ufunc accumulate is a strict
+   left-to-right fold, matching repeated ``+=``), and the fill-port
+   stall arithmetic at each missing block runs scalar, in line order.
+
+Because every float is produced by the identical operation sequence
+and every counter from the identical event set, equality with the
+reference is exact, not approximate — the differential tests in
+``tests/sim/test_array_replay.py`` assert ``==``, never ``approx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .columnar import columnar_view
+from .hierarchy import MemoryHierarchy
+from .params import MachineParams
+from .replacement import LRUStack
+from .stats import SimStats
+from .trace import BlockTrace, Program
+
+#: miss-level codes used internally (index into the tables below)
+_LEVEL_NAMES = ("l1", "l2", "l3", "memory")
+
+
+@dataclass
+class ReplayEvents:
+    """Per-event outputs for the vectorized profiler."""
+
+    #: cycle at which each trace index began fetching (``on_block``)
+    block_cycles: np.ndarray
+    #: one entry per L1I demand miss, in stream order (``on_miss``)
+    miss_trace_index: np.ndarray
+    miss_block_ids: np.ndarray
+    miss_lines: np.ndarray
+    miss_cycles: np.ndarray
+
+
+def _lru_stream(
+    lines: List[int], sets: List[int], ways: int
+) -> Tuple[bytearray, bytearray, Dict[int, "OrderedDict[int, None]"]]:
+    """Exact per-access LRU hit/evict outcomes for one cache level.
+
+    Demand fill on every miss, MRU insertion, LRU victim — the only
+    policy the no-plan path exercises.  Returns per-access hit and
+    eviction flags plus the final per-set recency state (oldest
+    first), which :func:`_materialize_cache` turns back into
+    :class:`LRUStack` contents.
+    """
+    hits = bytearray(len(lines))
+    evicts = bytearray(len(lines))
+    state: Dict[int, Dict[int, None]] = {}
+    get_set = state.get
+    index = 0
+    previous = -1
+    for line, set_index in zip(lines, sets):
+        if line == previous:
+            # Back-to-back access to one line: it is resident and
+            # already MRU of its set, so the hit changes nothing.
+            hits[index] = 1
+            index += 1
+            continue
+        previous = line
+        recency = get_set(set_index)
+        if recency is None:
+            state[set_index] = {line: None}
+        elif line in recency:
+            hits[index] = 1
+            # Delete + reinsert moves the key to the MRU (newest) end;
+            # plain dicts preserve insertion order.
+            del recency[line]
+            recency[line] = None
+        else:
+            recency[line] = None
+            if len(recency) > ways:
+                del recency[next(iter(recency))]
+                evicts[index] = 1
+        index += 1
+    return hits, evicts, state
+
+
+class _DataRecorder:
+    """Stands in for the hierarchy while replaying the data model.
+
+    ``DataTrafficModel.advance`` only ever calls ``data_access``; by
+    running the *real* model against this recorder, the RNG stream and
+    fractional accumulator behave exactly as in the reference replay,
+    and the recorded lines feed the merged L2 stream.
+    """
+
+    __slots__ = ("data_access",)
+
+    def __init__(self, append):
+        self.data_access = append
+
+
+def _record_data_stream(data_traffic, instr_counts: List[int]):
+    """Record the model's per-block data lines (reference-driven)."""
+    lines: List[int] = []
+    counts: List[int] = []
+    recorder = _DataRecorder(lines.append)
+    advance = data_traffic.advance
+    previous = 0
+    for count in instr_counts:
+        advance(count, recorder)
+        here = len(lines)
+        counts.append(here - previous)
+        previous = here
+    return lines, counts
+
+
+def _fast_data_eligible(model) -> bool:
+    """Is *model* the exact class/RNG the word-decoder replicates?
+
+    Subclasses (or replaced ``_rng`` objects) may override the draw
+    sequence, so anything but the stock configuration records through
+    the model itself instead.
+    """
+    import random as _random
+
+    from .datatraffic import DataTrafficModel
+
+    return (
+        type(model) is DataTrafficModel
+        and type(model._rng) is _random.Random
+        and model.hot_lines.bit_length() <= 32
+        and model.working_set_lines.bit_length() <= 32
+    )
+
+
+def _fast_data_stream(model, instr_counts: List[int]):
+    """Replay :class:`DataTrafficModel` from raw MT19937 words.
+
+    CPython's ``random`` and NumPy's ``MT19937`` share the same core
+    generator, so the model's exact access stream can be decoded from
+    a bulk ``random_raw`` draw: ``random()`` is two raw words
+    (``(w0>>5)*2**26 + (w1>>6)`` over 2^53) and ``randrange(n)`` is
+    ``w >> (32 - n.bit_length())`` with rejection — bit-for-bit the
+    sequences ``Random`` produces, at a fraction of the per-call cost.
+    The model object (fractional accumulator, access counter and RNG
+    state) is left exactly as if ``advance`` had been called per block.
+    """
+    from .datatraffic import DATA_LINE_BASE
+
+    rate = model.rate
+    acc = model._accumulator
+    counts: List[int] = []
+    append_count = counts.append
+    total = 0
+    for owed in (np.asarray(instr_counts, dtype=np.int64) * rate).tolist():
+        acc += owed
+        count = int(acc)
+        acc -= count
+        append_count(count)
+        total += count
+    if not total:
+        model._accumulator = acc
+        return [], counts
+
+    state = model._rng.getstate()
+    bit_gen = np.random.MT19937()
+    bit_gen.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.asarray(state[1][:-1], dtype=np.uint64),
+            "pos": state[1][-1],
+        },
+    }
+    # ~3.6 words per access on average; the decode loop tops up the
+    # buffer whenever a rejection run outpaces the estimate.
+    words = bit_gen.random_raw(4 * total + 64).tolist()
+
+    hot_weight = model.hot_weight
+    hot_lines = model.hot_lines
+    working_set = model.working_set_lines
+    hot_shift = 32 - hot_lines.bit_length()
+    cold_shift = 32 - working_set.bit_length()
+    inv53 = 1.0 / 9007199254740992.0
+
+    lines: List[int] = []
+    append_line = lines.append
+    pointer = 0
+    capacity = len(words)
+    for _ in range(total):
+        if pointer + 2 > capacity:
+            words.extend(bit_gen.random_raw(4096).tolist())
+            capacity = len(words)
+        w0 = words[pointer]
+        w1 = words[pointer + 1]
+        pointer += 2
+        if ((w0 >> 5) * 67108864.0 + (w1 >> 6)) * inv53 < hot_weight:
+            bound, shift = hot_lines, hot_shift
+        else:
+            bound, shift = working_set, cold_shift
+        while True:
+            if pointer == capacity:
+                words.extend(bit_gen.random_raw(4096).tolist())
+                capacity = len(words)
+            offset = words[pointer] >> shift
+            pointer += 1
+            if offset < bound:
+                break
+        append_line(DATA_LINE_BASE + offset)
+
+    # Leave the model exactly as the reference would: accumulator,
+    # access count, and the RNG advanced by the words consumed.
+    model._accumulator = acc
+    model.accesses += total
+    resync = np.random.MT19937()
+    resync.state = {
+        "bit_generator": "MT19937",
+        "state": {
+            "key": np.asarray(state[1][:-1], dtype=np.uint64),
+            "pos": state[1][-1],
+        },
+    }
+    resync.random_raw(pointer)
+    final = resync.state["state"]
+    model._rng.setstate(
+        (3, tuple(int(k) for k in final["key"]) + (int(final["pos"]),), None)
+    )
+    return lines, counts
+
+
+def _materialize_cache(cache, state, hit_count, miss_count, evict_count) -> None:
+    """Install final residency + post-warmup counters into *cache*."""
+    cache._sets.clear()
+    cache._pending_prefetched.clear()
+    for set_index, recency in state.items():
+        stack = LRUStack(cache.ways)
+        # Insertion order is oldest-to-newest; MRU sits at index 0.
+        stack._stack = list(reversed(recency.keys()))
+        cache._sets[set_index] = stack
+    stats = cache.stats
+    stats.reset()
+    stats.demand_hits = hit_count
+    stats.demand_misses = miss_count
+    stats.evictions = evict_count
+
+
+def _flags(buffer: bytearray) -> np.ndarray:
+    return np.frombuffer(bytes(buffer), dtype=np.uint8).astype(bool)
+
+
+def ideal_replay(
+    program: Program,
+    trace: BlockTrace,
+    machine: MachineParams,
+    stats: SimStats,
+    warmup: int = 0,
+) -> SimStats:
+    """The all-hits upper bound: counters only, no hierarchy state."""
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    length = len(rows)
+    eff = warmup if 0 < warmup < length else 0
+    cpi = 1.0 / machine.base_ipc
+
+    stats.clear()
+    stats.l1i_accesses = int(view.line_counts[rows[eff:]].sum())
+    program_instructions = int(view.instruction_counts[rows[eff:]].sum())
+    stats.program_instructions = program_instructions
+    stats.compute_cycles = program_instructions * cpi
+    return stats
+
+
+def array_replay(
+    program: Program,
+    trace: BlockTrace,
+    machine: MachineParams,
+    stats: SimStats,
+    data_traffic=None,
+    warmup: int = 0,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    record_events: bool = False,
+) -> Optional[ReplayEvents]:
+    """Replay *trace* with no prefetch plan; populate *stats* exactly.
+
+    When *hierarchy* is given its caches, cache statistics and fill
+    port are left in the identical final state the reference loop
+    would produce.  With ``record_events`` the per-block cycles and
+    per-miss events (the observer view) are returned for the profiler.
+    """
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    length = len(rows)
+    # The reference clears counters when `index == warmup`; a boundary
+    # outside the trace never fires, so statistics then cover the run.
+    eff = warmup if 0 < warmup < length else 0
+    cpi = 1.0 / machine.base_ipc
+
+    # -- L1I access stream (CSR gather of each block's lines) ----------
+    counts_pe = view.line_counts[rows]
+    cum_pe = np.zeros(length + 1, dtype=np.int64)
+    np.cumsum(counts_pe, out=cum_pe[1:])
+    total_accesses = int(cum_pe[-1])
+    block_of_access = np.repeat(np.arange(length, dtype=np.int64), counts_pe)
+    gather = (
+        np.repeat(view.line_starts[rows] - cum_pe[:-1], counts_pe)
+        + np.arange(total_accesses, dtype=np.int64)
+    )
+    l1_lines = view.line_data[gather]
+
+    l1_geom = machine.l1i
+    l1_hits_b, l1_evicts_b, l1_state = _lru_stream(
+        l1_lines.tolist(), (l1_lines % l1_geom.num_sets).tolist(), l1_geom.ways
+    )
+    l1_hits = _flags(l1_hits_b)
+
+    miss_pos = np.flatnonzero(~l1_hits)
+    miss_lines = l1_lines[miss_pos]
+    miss_blocks = block_of_access[miss_pos]
+    n_miss = len(miss_pos)
+
+    # -- data-traffic stream (exact model replay, per retired block) ---
+    data_lines_py: List[int] = []
+    data_counts_py: List[int] = []
+    if data_traffic is not None:
+        instr_counts = view.instruction_counts[rows].tolist()
+        if _fast_data_eligible(data_traffic):
+            data_lines_py, data_counts_py = _fast_data_stream(
+                data_traffic, instr_counts
+            )
+        else:
+            data_lines_py, data_counts_py = _record_data_stream(
+                data_traffic, instr_counts
+            )
+
+    # -- L2 stream: per block, instruction misses then data lines ------
+    if data_lines_py:
+        data_lines = np.asarray(data_lines_py, dtype=np.int64)
+        data_blocks = np.repeat(
+            np.arange(length, dtype=np.int64),
+            np.asarray(data_counts_py, dtype=np.int64),
+        )
+        merge_key = np.concatenate([miss_blocks * 2, data_blocks * 2 + 1])
+        merge_lines = np.concatenate([miss_lines, data_lines])
+        order = np.argsort(merge_key, kind="stable")
+        l2_lines = merge_lines[order]
+        l2_blocks = merge_key[order] >> 1
+        l2_is_instr = (merge_key[order] & 1) == 0
+    else:
+        l2_lines = miss_lines
+        l2_blocks = miss_blocks
+        l2_is_instr = np.ones(n_miss, dtype=bool)
+
+    l2_geom = machine.l2
+    l2_hits_b, l2_evicts_b, l2_state = _lru_stream(
+        l2_lines.tolist(), (l2_lines % l2_geom.num_sets).tolist(), l2_geom.ways
+    )
+    l2_hits = _flags(l2_hits_b)
+
+    # -- L3 stream: the L2 misses, in order ----------------------------
+    l3_sel = ~l2_hits
+    l3_lines = l2_lines[l3_sel]
+    l3_blocks = l2_blocks[l3_sel]
+    l3_is_instr = l2_is_instr[l3_sel]
+    l3_geom = machine.l3
+    l3_hits_b, l3_evicts_b, l3_state = _lru_stream(
+        l3_lines.tolist(), (l3_lines % l3_geom.num_sets).tolist(), l3_geom.ways
+    )
+    l3_hits = _flags(l3_hits_b)
+
+    # -- hit level of every instruction miss ---------------------------
+    # Stable merging preserved the instruction subsequence's order at
+    # both levels, so boolean gathers line back up with `miss_pos`.
+    l2_hit_instr = l2_hits[l2_is_instr]
+    lev = np.empty(n_miss, dtype=np.int64)
+    lev[l2_hit_instr] = 1
+    rest = np.flatnonzero(~l2_hit_instr)
+    lev[rest] = np.where(l3_hits[l3_is_instr], 2, 3)
+
+    # -- timing: the reference float sequence, segment-accelerated -----
+    incr = view.instruction_counts[rows].astype(np.float64) * cpi
+    penalty = (
+        0.0,
+        float(machine.l2_latency),
+        float(machine.l3_latency),
+        float(machine.memory_latency),
+    )
+    occupancy = (
+        0.0,
+        machine.l2_fill_occupancy,
+        machine.l3_fill_occupancy,
+        machine.memory_fill_occupancy,
+    )
+    mb_list = miss_blocks.tolist()
+    lev_list = lev.tolist()
+    block_cycles = np.empty(length, dtype=np.float64) if record_events else None
+    miss_cycles = [0.0] * n_miss if record_events else None
+
+    now = 0.0
+    busy = 0.0
+    frontend_stalls = 0.0
+    segment = 0
+    i = 0
+    while i < n_miss:
+        block = mb_list[i]
+        if block > segment:
+            buffer = np.empty(block - segment + 1, dtype=np.float64)
+            buffer[0] = now
+            buffer[1:] = incr[segment:block]
+            np.add.accumulate(buffer, out=buffer)
+            if record_events:
+                block_cycles[segment:block] = buffer[:-1]
+            now = float(buffer[-1])
+        if record_events:
+            block_cycles[block] = now
+        stall = 0.0
+        while i < n_miss and mb_list[i] == block:
+            level = lev_list[i]
+            start = now + stall
+            if start < busy:
+                start = busy
+            busy = start + occupancy[level]
+            stall = (start + penalty[level]) - now
+            if record_events:
+                miss_cycles[i] = now + stall
+            i += 1
+        if block >= eff:
+            frontend_stalls += stall
+        now += stall
+        now += float(incr[block])
+        segment = block + 1
+    if record_events and segment < length:
+        buffer = np.empty(length - segment + 1, dtype=np.float64)
+        buffer[0] = now
+        buffer[1:] = incr[segment:length]
+        np.add.accumulate(buffer, out=buffer)
+        block_cycles[segment:length] = buffer[:-1]
+
+    # -- counters (post-warmup, like the boundary-reset reference) -----
+    post_miss = miss_blocks >= eff
+    stats.clear()
+    stats.l1i_accesses = int(counts_pe[eff:].sum())
+    stats.l1i_misses = int(post_miss.sum())
+    stats.frontend_stall_cycles = frontend_stalls
+    program_instructions = int(view.instruction_counts[rows[eff:]].sum())
+    stats.program_instructions = program_instructions
+    stats.compute_cycles = program_instructions * cpi
+    miss_level_counts: Dict[str, int] = {}
+    for block, level in zip(mb_list, lev_list):
+        if block >= eff:
+            name = _LEVEL_NAMES[level]
+            miss_level_counts[name] = miss_level_counts.get(name, 0) + 1
+    stats.miss_level_counts = miss_level_counts
+
+    if hierarchy is not None:
+        first_access = int(cum_pe[eff])
+        l1_post_hits = int(l1_hits[first_access:].sum())
+        _materialize_cache(
+            hierarchy.l1i,
+            l1_state,
+            l1_post_hits,
+            (total_accesses - first_access) - l1_post_hits,
+            int(_flags(l1_evicts_b)[first_access:].sum()),
+        )
+        l2_from = int(np.searchsorted(l2_blocks, eff, side="left"))
+        l2_post_hits = int(l2_hits[l2_from:].sum())
+        _materialize_cache(
+            hierarchy.l2,
+            l2_state,
+            l2_post_hits,
+            (len(l2_lines) - l2_from) - l2_post_hits,
+            int(_flags(l2_evicts_b)[l2_from:].sum()),
+        )
+        l3_from = int(np.searchsorted(l3_blocks, eff, side="left"))
+        l3_post_hits = int(l3_hits[l3_from:].sum())
+        _materialize_cache(
+            hierarchy.l3,
+            l3_state,
+            l3_post_hits,
+            (len(l3_lines) - l3_from) - l3_post_hits,
+            int(_flags(l3_evicts_b)[l3_from:].sum()),
+        )
+        hierarchy.fill_port.busy_until = busy
+        # Reference parity: prefetch-hit bookkeeping feeds this field.
+        stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
+
+    if not record_events:
+        return None
+    return ReplayEvents(
+        block_cycles=block_cycles,
+        miss_trace_index=miss_blocks,
+        miss_block_ids=view.block_ids[rows[miss_blocks]],
+        miss_lines=miss_lines,
+        miss_cycles=np.asarray(miss_cycles, dtype=np.float64),
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from .. import kernel
 from .frontend import FetchEngine
 from .hierarchy import MemoryHierarchy
 from .params import MachineParams
@@ -112,6 +113,8 @@ class CoreSimulator:
             prefetch_insertion_fraction=prefetch_insertion_fraction,
         )
         self.stats = SimStats()
+        #: which replay implementation the last run() used
+        self.last_replay_backend = "reference"
         self.engine: Optional[PrefetchEngine] = None
         self._instr_counts: Dict[int, int] = {
             block.block_id: block.instruction_count for block in program
@@ -140,6 +143,17 @@ class CoreSimulator:
                 track_exact_context=track_exact_context,
             )
 
+    def _hierarchy_pristine(self) -> bool:
+        """True when no replay or external access has touched state."""
+        hierarchy = self.hierarchy
+        return (
+            not hierarchy.l1i._sets
+            and not hierarchy.l2._sets
+            and not hierarchy.l3._sets
+            and hierarchy.fill_port.busy_until == 0.0
+            and self.stats == SimStats()
+        )
+
     def run(
         self,
         trace: BlockTrace,
@@ -158,6 +172,37 @@ class CoreSimulator:
         cpi = 1.0 / self.machine.base_ipc
         prefetch_cpi = 1.0 / self.machine.issue_width
         instr_counts = self._instr_counts
+
+        # Columnar fast path: with no observer and no prefetch engine
+        # there are no per-event hooks to honour, so the replay can run
+        # on the array kernel — bit-identical by construction (see
+        # repro/sim/array_replay.py) and differentially tested.  A
+        # non-pristine hierarchy (re-used simulator) falls back to the
+        # reference loop, which composes with existing state.
+        if (
+            observer is None
+            and engine is None
+            and kernel.numpy_enabled()
+            and self._hierarchy_pristine()
+        ):
+            from .array_replay import array_replay, ideal_replay
+
+            self.last_replay_backend = "columnar"
+            if self.ideal:
+                return ideal_replay(
+                    self.program, trace, self.machine, stats, warmup=warmup
+                )
+            array_replay(
+                self.program,
+                trace,
+                self.machine,
+                stats,
+                data_traffic=self.data_traffic,
+                warmup=warmup,
+                hierarchy=self.hierarchy,
+            )
+            return stats
+        self.last_replay_backend = "reference"
 
         if observer is not None:
             fetch: FetchEngine = _ObservingFetchEngine(

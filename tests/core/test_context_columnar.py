@@ -1,0 +1,181 @@
+"""Differential tests: columnar context discovery and planning.
+
+The packed-``uint64`` combination search must choose the *same*
+context as the bigint reference for every (site, line) pair — and the
+full planning pipeline (I-SPY and AsmDB) must emit identical plans and
+identical figure rows.  Plus the edge cases both engines must agree
+on: zero fan-out sites, sites with no miss-leading executions, and
+predictor pools smaller than ``max_predecessors``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import kernel
+from repro.analysis.experiments import (
+    Evaluator,
+    ExperimentSettings,
+    fig10_speedup,
+)
+from repro.baselines.asmdb import build_asmdb_plan
+from repro.core.config import DEFAULT_CONFIG, ISpyConfig
+from repro.core.context import discover_context
+from repro.core.injection import frequent_miss_lines, select_site
+from repro.core.ispy import build_ispy_plan
+from repro.profiling.pebs import MissSample
+from repro.profiling.profiler import ExecutionProfile, profile_execution
+from repro.workloads.apps import build_app
+
+APPS = ("wordpress", "drupal", "finagle-http")
+
+EDGE_CONFIG = ISpyConfig(
+    min_prefetch_distance=0.0,
+    max_prefetch_distance=200.0,
+    lbr_depth=3,
+    min_miss_samples=1,
+    min_context_support=2,
+    context_discovery_occurrences=100,
+)
+
+
+def _both_modes(callable_):
+    with kernel.reference_path():
+        ref = callable_()
+    with kernel.force_numpy_kernel():
+        col = callable_()
+    return ref, col
+
+
+def _make_profile(block_ids, miss_events):
+    """A handcrafted profile: 10 cycles per trace step; *miss_events*
+    is a list of (trace_index, line) pairs (the missing block is the
+    one at that index)."""
+    cycles = [float(10 * i) for i in range(len(block_ids))]
+    samples = [
+        MissSample(
+            trace_index=index,
+            block_id=block_ids[index],
+            line=line,
+            cycle=cycles[index] + 1.0,
+        )
+        for index, line in miss_events
+    ]
+    return ExecutionProfile(
+        program_name="edge-case",
+        block_ids=list(block_ids),
+        block_cycles=cycles,
+        miss_samples=samples,
+        edge_counts=Counter(zip(block_ids, block_ids[1:])),
+        block_counts=Counter(block_ids),
+        cumulative_instructions=[4 * i for i in range(len(block_ids))],
+        lbr_depth=EDGE_CONFIG.lbr_depth,
+    )
+
+
+class TestRealProfiles:
+    def test_discover_context_identical(self):
+        app = build_app("wordpress", scale=0.25)
+        trace = app.trace(12_000)
+        with kernel.reference_path():
+            profile = profile_execution(
+                app.program, trace, data_traffic=app.data_traffic()
+            )
+        pairs = []
+        for line, _ in frequent_miss_lines(profile, DEFAULT_CONFIG)[:15]:
+            with kernel.reference_path():
+                selection = select_site(profile, line, DEFAULT_CONFIG)
+            if selection.chosen is not None:
+                pairs.append((selection.chosen.block_id, line))
+        assert pairs, "no candidate sites found — workload too small"
+        some_context = False
+        for site, line in pairs:
+            ref, col = _both_modes(
+                lambda: discover_context(profile, site, line, DEFAULT_CONFIG)
+            )
+            assert col == ref
+            some_context = some_context or ref is not None
+
+    @pytest.mark.parametrize("name", APPS)
+    def test_plans_identical(self, name):
+        app = build_app(name, scale=0.25)
+        trace = app.trace(12_000)
+
+        def plans():
+            profile = profile_execution(
+                app.program, trace, data_traffic=app.data_traffic()
+            )
+            ispy = build_ispy_plan(app.program, profile, DEFAULT_CONFIG).plan
+            asmdb = build_asmdb_plan(app.program, profile, DEFAULT_CONFIG).plan
+            return list(ispy), list(asmdb)
+
+        ref, col = _both_modes(plans)
+        assert col == ref
+
+    def test_figure_rows_identical(self):
+        settings = ExperimentSettings(
+            profile_length=8_000, eval_length=10_000, warmup=2_000, scale=0.25
+        )
+
+        def rows():
+            return fig10_speedup(Evaluator(settings), apps=["wordpress"])
+
+        ref, col = _both_modes(rows)
+        assert col == ref
+
+
+class TestEdgeCases:
+    def test_zero_miss_leading_occurrences_is_none(self):
+        # Site 3 executes repeatedly; line 77's only miss comes BEFORE
+        # every execution, so no occurrence leads to it.
+        block_ids = [9, 1, 2, 3] * 6
+        profile = _make_profile(block_ids, miss_events=[(0, 77)])
+        ref, col = _both_modes(
+            lambda: discover_context(profile, 3, 77, EDGE_CONFIG)
+        )
+        assert ref is None
+        assert col is None
+
+    def test_zero_fanout_site_is_none(self):
+        # Every execution of site 3 is followed (one step later, by
+        # block 4) by a miss of line 77: base probability 1.0 leaves no
+        # context gain, so both engines must decline to condition.
+        block_ids = [9, 1, 2, 3, 4] * 6
+        miss_events = [
+            (index, 77)
+            for index, block in enumerate(block_ids)
+            if block == 4
+        ]
+        profile = _make_profile(block_ids, miss_events)
+        ref, col = _both_modes(
+            lambda: discover_context(profile, 3, 77, EDGE_CONFIG)
+        )
+        assert ref is None
+        assert col is None
+
+    def test_pool_smaller_than_max_predecessors(self):
+        # Miss-leading windows hold three distinct predecessor blocks
+        # (7, 1, 2) — fewer than the default max_predecessors=4 — and
+        # block 7 perfectly predicts the miss.  Filler blocks between
+        # segments push the next segment's miss beyond the 200-cycle
+        # window, so only same-segment misses label an occurrence.
+        segments = []
+        miss_events = []
+        for repeat in range(8):
+            base = len(segments)
+            if repeat % 2 == 0:
+                segments.extend([7, 1, 2, 3, 4])
+                miss_events.append((base + 4, 77))
+            else:
+                segments.extend([8, 1, 2, 3, 4])
+            segments.extend([0] * 20)
+        profile = _make_profile(segments, miss_events)
+        ref, col = _both_modes(
+            lambda: discover_context(profile, 3, 77, EDGE_CONFIG)
+        )
+        assert col == ref
+        assert ref is not None
+        assert ref.blocks == (7,)
+        assert ref.probability == 1.0

@@ -1,0 +1,73 @@
+"""Differential tests: vectorized profiler vs the observer-driven one.
+
+Every field of :class:`ExecutionProfile` must match exactly — the
+profile is the planner's sole input, so any divergence here would
+cascade into different plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import kernel
+from repro.profiling.profiler import profile_execution
+from repro.workloads.apps import build_app
+
+APPS = ("wordpress", "drupal", "finagle-http")
+
+
+def _profiles(app, trace, sample_period=1):
+    results = {}
+    for mode, backend in (
+        ("ref", kernel.reference_path),
+        ("col", kernel.force_numpy_kernel),
+    ):
+        with backend():
+            results[mode] = profile_execution(
+                app.program,
+                trace,
+                sample_period=sample_period,
+                data_traffic=app.data_traffic(),
+            )
+    return results["ref"], results["col"]
+
+
+def _assert_profiles_equal(ref, col):
+    assert col.program_name == ref.program_name
+    assert col.block_ids == ref.block_ids
+    assert col.block_cycles == ref.block_cycles
+    assert col.miss_samples == ref.miss_samples
+    assert col.edge_counts == ref.edge_counts
+    assert col.block_counts == ref.block_counts
+    assert col.cumulative_instructions == ref.cumulative_instructions
+    assert col.lbr_depth == ref.lbr_depth
+    assert col.baseline_stats == ref.baseline_stats
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_profiles_identical_across_apps(name):
+    app = build_app(name, scale=0.25)
+    trace = app.trace(10_000)
+    ref, col = _profiles(app, trace)
+    _assert_profiles_equal(ref, col)
+
+
+@pytest.mark.parametrize("sample_period", [2, 7, 100])
+def test_profiles_identical_across_sample_periods(sample_period):
+    app = build_app("wordpress", scale=0.25)
+    trace = app.trace(10_000)
+    ref, col = _profiles(app, trace, sample_period=sample_period)
+    _assert_profiles_equal(ref, col)
+
+
+def test_occurrence_and_window_queries_agree():
+    app = build_app("drupal", scale=0.25)
+    trace = app.trace(8_000)
+    ref, col = _profiles(app, trace)
+    hot = ref.block_counts.most_common(5)
+    for block, _ in hot:
+        assert col.occurrences(block) == ref.occurrences(block)
+    for sample in ref.miss_samples[:20]:
+        assert (
+            col.window(sample.trace_index) == ref.window(sample.trace_index)
+        )
