@@ -1,7 +1,9 @@
 """End-to-end pipeline smoke benchmark: columnar kernel vs reference.
 
-Times the profile → plan → simulate pipeline twice — once on the
-pure-Python reference paths, once on the columnar NumPy kernel — and
+Times the profile → plan → simulate → plan-replay pipeline twice —
+once on the pure-Python reference paths, once on the columnar NumPy
+kernel (plan-free replay takes the ``columnar`` backend, plan-bearing
+replay the ``columnar-plan`` backend) — and
 records both the human-readable table and a machine-readable
 ``BENCH_perf_smoke.json`` (stage seconds, blocks/sec, speedups) so the
 perf trajectory is tracked across PRs.
@@ -31,11 +33,16 @@ from .conftest import write_json, write_result
 
 SETTINGS = ExperimentSettings()
 REPEATS = 3
-STAGES = ("profile", "plan", "simulate")
+STAGES = ("profile", "plan", "simulate", "plan_replay")
 
 
 def _pipeline_seconds(evaluation, backend) -> tuple:
-    """One timed profile→plan→simulate run; returns stage seconds."""
+    """One timed profile→plan→simulate→plan-replay run.
+
+    Returns the per-stage seconds, the plan, the plan-free and
+    plan-bearing stats, and the replay backends the two simulate
+    stages actually used (``CoreSimulator.last_replay_backend``).
+    """
     app = evaluation.app
     profile_trace = app.trace(SETTINGS.profile_length)
     eval_trace = evaluation.eval_trace
@@ -51,7 +58,15 @@ def _pipeline_seconds(evaluation, backend) -> tuple:
             app.program, data_traffic=evaluation._eval_data_traffic()
         )
         stats = core.run(eval_trace, warmup=SETTINGS.warmup)
-    return (t1 - t0, t2 - t1, time.perf_counter() - t2), plan, stats
+        t3 = time.perf_counter()
+        plan_core = CoreSimulator(
+            app.program, plan=plan, data_traffic=evaluation._eval_data_traffic()
+        )
+        plan_stats = plan_core.run(eval_trace, warmup=SETTINGS.warmup)
+        t4 = time.perf_counter()
+    seconds = (t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+    backends = (core.last_replay_backend, plan_core.last_replay_backend)
+    return seconds, plan, stats, plan_stats, backends
 
 
 def test_pipeline_speedup(results_dir):
@@ -65,18 +80,24 @@ def test_pipeline_speedup(results_dir):
     outputs = {}
     for _ in range(REPEATS):
         for name, backend in backends.items():
-            seconds, plan, stats = _pipeline_seconds(evaluation, backend)
+            seconds, plan, stats, plan_stats, used = _pipeline_seconds(
+                evaluation, backend
+            )
             previous = best[name]
             best[name] = (
                 seconds
                 if previous is None
                 else tuple(min(a, b) for a, b in zip(previous, seconds))
             )
-            outputs[name] = (list(plan), stats)
+            outputs[name] = (list(plan), stats, plan_stats, used)
 
     # Same plan, same stats — the backends differ in speed only.
     assert outputs["reference"][0] == outputs["columnar"][0]
     assert outputs["reference"][1] == outputs["columnar"][1]
+    assert outputs["reference"][2] == outputs["columnar"][2]
+    # ... and each simulate stage ran on the backend it claims.
+    assert outputs["reference"][3] == ("reference", "reference")
+    assert outputs["columnar"][3] == ("columnar", "columnar-plan")
 
     totals = {name: sum(seconds) for name, seconds in best.items()}
     speedup = totals["reference"] / totals["columnar"]
@@ -84,6 +105,7 @@ def test_pipeline_speedup(results_dir):
         "profile": SETTINGS.profile_length,
         "plan": 0,
         "simulate": SETTINGS.eval_length,
+        "plan_replay": SETTINGS.eval_length,
     }
 
     rows = []
@@ -144,16 +166,23 @@ def test_pipeline_speedup(results_dir):
     write_json(results_dir, "perf_smoke", payload)
 
     # The tentpole acceptance bar: the columnar kernel must at least
-    # halve the profile→plan→simulate wall time.
+    # halve the profile→plan→simulate wall time, and plan-bearing
+    # replay itself must clear 2x against the reference loop.
     assert speedup >= 2.0
+    assert payload["stages"]["plan_replay"]["speedup"] >= 2.0
 
 
 def test_replay_throughput(results_dir):
-    """Engine-driven replay throughput (plans run the reference loop)."""
+    """Engine-driven replay throughput (plans take ``columnar-plan``)."""
     evaluation = Evaluator(ExperimentSettings.small())["wordpress"]
     trace = evaluation.eval_trace
     blocks = len(trace)
 
+    expected_backend = {
+        "no-plan": "columnar",
+        "asmdb": "columnar-plan",
+        "ispy": "columnar-plan",
+    }
     timings = {}
     for mode, plan in (
         ("no-plan", None),
@@ -170,6 +199,8 @@ def test_replay_throughput(results_dir):
             started = time.perf_counter()
             core.run(trace, warmup=evaluation.settings.warmup)
             bench_best = min(bench_best, time.perf_counter() - started)
+            if kernel.numpy_enabled():
+                assert core.last_replay_backend == expected_backend[mode]
         timings[mode] = bench_best
 
     rows = [

@@ -51,7 +51,16 @@ def ablation_replacement_priority(
             ),
             prefetch_insertion_fraction=fraction,
         )
-        stats = core.run(evaluation.eval_trace, warmup=evaluator.settings.warmup)
+        with evaluator.perf.stage(
+            "simulate", units=len(evaluation.eval_trace.block_ids)
+        ):
+            stats = core.run(
+                evaluation.eval_trace, warmup=evaluator.settings.warmup
+            )
+        evaluator.perf.count(
+            f"simulate:{core.last_replay_backend}",
+            units=len(evaluation.eval_trace.block_ids),
+        )
         rows.append(
             {
                 "insertion_fraction": fraction,
@@ -130,7 +139,16 @@ def ablation_lbr_depth(
                 seed=evaluation.app.spec.seed + 777
             ),
         )
-        stats = core.run(evaluation.eval_trace, warmup=evaluator.settings.warmup)
+        with evaluator.perf.stage(
+            "simulate", units=len(evaluation.eval_trace.block_ids)
+        ):
+            stats = core.run(
+                evaluation.eval_trace, warmup=evaluator.settings.warmup
+            )
+        evaluator.perf.count(
+            f"simulate:{core.last_replay_backend}",
+            units=len(evaluation.eval_trace.block_ids),
+        )
         rows.append(
             {
                 "lbr_depth": depth,

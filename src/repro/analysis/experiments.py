@@ -238,7 +238,9 @@ class AppEvaluation:
                 data_traffic=self._eval_data_traffic(),
             )
             stats = core.run(replay, warmup=self.settings.warmup)
-        self.perf.count(f"simulate:{core.last_replay_backend}")
+        self.perf.count(
+            f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
+        )
         # Stash the engine's accounting for figures that need run-time
         # context bookkeeping (Fig. 21 false positives).
         stats_engine = getattr(core, "engine", None)
@@ -258,7 +260,9 @@ class AppEvaluation:
         with self.perf.stage("simulate", units=len(replay.block_ids)):
             core = CoreSimulator(self.app.program, ideal=True)
             stats = core.run(replay, warmup=self.settings.warmup)
-        self.perf.count(f"simulate:{core.last_replay_backend}")
+        self.perf.count(
+            f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
+        )
         self._remember_stats(key, stats)
         return stats
 

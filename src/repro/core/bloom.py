@@ -92,6 +92,16 @@ class LBRRuntimeHash:
 
     # -- introspection ----------------------------------------------------
 
+    @property
+    def positions(self) -> Mapping[int, Tuple[int, ...]]:
+        """The block-id → hash-bit-positions table this filter hashes with."""
+        return self._positions
+
+    @property
+    def max_count(self) -> int:
+        """Largest value a counter may reach before :meth:`push` raises."""
+        return self._max_count
+
     def history(self) -> Tuple[int, ...]:
         """Current LBR contents, oldest first (for tests/examples)."""
         return tuple(self._fifo)
@@ -103,6 +113,19 @@ class LBRRuntimeHash:
         self._counters = [0] * self.hash_bits
         self._fifo.clear()
         self._bits = 0
+
+    def rebuild(self, history: Iterable[int]) -> None:
+        """Reset, then replay *history* (oldest first) through :meth:`push`.
+
+        Because the filter's state is a pure function of the last
+        ``depth`` hashed pushes, replaying that suffix reproduces the
+        exact FIFO, counters and bit reduction of any longer push
+        sequence ending in it — which is how the columnar replay
+        restores the tracker without walking the whole trace.
+        """
+        self.reset()
+        for block_id in history:
+            self.push(block_id)
 
     # -- software reference model -----------------------------------------
 

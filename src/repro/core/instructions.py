@@ -116,6 +116,22 @@ class PrefetchInstr:
         return tuple(lines)
 
 
+@dataclass(frozen=True)
+class CompiledPrefetch:
+    """Replay-ready view of one :class:`PrefetchInstr`.
+
+    The simulator's hot loop needs exactly three things per
+    instruction: the expanded coalescing targets, the conditional mask
+    (None for unconditional prefetches) and the exact context blocks
+    for Fig. 21 accounting.  Compiling them once per plan keeps
+    :meth:`PrefetchInstr.target_lines`'s bit-walk out of replay.
+    """
+
+    targets: Tuple[int, ...]
+    context_mask: Optional[int]
+    context_blocks: Tuple[int, ...]
+
+
 class PrefetchPlan:
     """All instructions injected into one binary (Fig. 9, step 3).
 
@@ -127,6 +143,7 @@ class PrefetchPlan:
     def __init__(self, name: str = "plan"):
         self.name = name
         self._by_site: Dict[int, List[PrefetchInstr]] = {}
+        self._compiled: Optional[Tuple[int, Dict[int, Tuple[CompiledPrefetch, ...]]]] = None
 
     def add(self, instr: PrefetchInstr) -> None:
         self._by_site.setdefault(instr.site_block, []).append(instr)
@@ -143,6 +160,31 @@ class PrefetchPlan:
     def site_table(self) -> Mapping[int, List[PrefetchInstr]]:
         """Direct mapping view for the simulator's inner loop."""
         return self._by_site
+
+    def compiled_sites(self) -> Dict[int, Tuple[CompiledPrefetch, ...]]:
+        """Per-site :class:`CompiledPrefetch` tuples, cached per plan size.
+
+        The cache is invalidated when instructions are added after the
+        first compilation (plans are normally built once, then replayed
+        many times).
+        """
+        cached = self._compiled
+        count = len(self)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        compiled = {
+            site: tuple(
+                CompiledPrefetch(
+                    targets=instr.target_lines(),
+                    context_mask=instr.context_mask,
+                    context_blocks=instr.context_blocks,
+                )
+                for instr in instrs
+            )
+            for site, instrs in self._by_site.items()
+        }
+        self._compiled = (count, compiled)
+        return compiled
 
     def sites(self) -> Tuple[int, ...]:
         return tuple(self._by_site.keys())

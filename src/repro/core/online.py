@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..perf import PerfRegistry, registry
 from ..profiling.profiler import ExecutionProfile, profile_execution
 from ..sim.cpu import CoreSimulator
 from ..sim.params import MachineParams
@@ -44,6 +45,9 @@ class EpochResult:
     plan_size: int
     #: profile collected during this epoch (input to the next plan)
     profile: Optional[ExecutionProfile] = None
+    #: replay backend the epoch's simulation ran on (``reference``,
+    #: ``columnar`` or ``columnar-plan``)
+    backend: str = "reference"
 
 
 @dataclass
@@ -82,6 +86,7 @@ class OnlineISpy:
         config: ISpyConfig = DEFAULT_CONFIG,
         machine: Optional[MachineParams] = None,
         data_traffic_factory=None,
+        perf: Optional[PerfRegistry] = None,
     ):
         self.program = program
         self.config = config
@@ -89,6 +94,9 @@ class OnlineISpy:
         #: callable (epoch_index) -> DataTrafficModel or None
         self.data_traffic_factory = data_traffic_factory or (lambda epoch: None)
         self.analyzer = ISpy(config)
+        #: timing registry fed one ``simulate`` stage + one
+        #: ``simulate:<backend>`` event per epoch (``--timing`` view)
+        self.perf = registry(perf)
 
     def run(self, trace: BlockTrace, epoch_length: int) -> OnlineRunResult:
         """Replay *trace* in epochs, refreshing the plan between them."""
@@ -107,7 +115,11 @@ class OnlineISpy:
                 plan=plan,
                 data_traffic=self.data_traffic_factory(index),
             )
-            stats = core.run(epoch_trace)
+            with self.perf.stage("simulate", units=len(epoch_trace)):
+                stats = core.run(epoch_trace)
+            self.perf.count(
+                f"simulate:{core.last_replay_backend}", units=len(epoch_trace)
+            )
 
             profile = profile_execution(
                 self.program,
@@ -121,6 +133,7 @@ class OnlineISpy:
                     stats=stats,
                     plan_size=len(plan) if plan else 0,
                     profile=profile,
+                    backend=core.last_replay_backend,
                 )
             )
             plan = self.analyzer.build_plan(self.program, profile).plan

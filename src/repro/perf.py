@@ -116,6 +116,22 @@ class PerfRegistry:
         entry = self.counters.get(name)
         return entry.units if entry else 0
 
+    def backend_counts(self, prefix: str = "simulate:") -> Dict[str, int]:
+        """Simulate calls per replay backend.
+
+        The simulator records one ``simulate:<backend>`` event per
+        :meth:`CoreSimulator.run` — ``reference`` for the pure-Python
+        loop, ``columnar`` for the plan-free array kernel and
+        ``columnar-plan`` for plan-bearing array replay — so the
+        ``--timing`` report can show which implementation actually
+        served each replay.
+        """
+        return {
+            name[len(prefix):]: entry.calls
+            for name, entry in self.counters.items()
+            if name.startswith(prefix) and len(name) > len(prefix)
+        }
+
     def total_seconds(self) -> float:
         """Wall-clock work recorded across every stage."""
         return sum(entry.seconds for entry in self.counters.values())
@@ -147,6 +163,12 @@ class PerfRegistry:
             )
             if index == 0:
                 lines.append("  ".join("-" * w for w in widths))
+        backends = self.backend_counts()
+        if backends:
+            summary = "  ".join(
+                f"{name}={calls}" for name, calls in sorted(backends.items())
+            )
+            lines.append(f"replay backends: {summary}")
         return "\n".join(lines)
 
 

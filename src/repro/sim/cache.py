@@ -84,6 +84,19 @@ class Cache:
         """True if *line* is resident (no state change)."""
         return line in self._set_for(line)
 
+    def is_pristine(self) -> bool:
+        """True when no access, fill or probe has ever touched a set.
+
+        This is the gate the columnar fast paths use: a pristine cache
+        can be reconstructed from a from-scratch replay, a non-pristine
+        one composes with prior state and must take the reference loop.
+        """
+        return not self._sets
+
+    def prefetch_insertion_depth(self) -> int:
+        """LRU-stack depth at which prefetch fills land (Section III-B)."""
+        return self._policy.depth_for(InsertionPolicy.PREFETCH)
+
     def resident_lines(self) -> Set[int]:
         """Every line currently resident (for invariants/tests)."""
         lines: Set[int] = set()

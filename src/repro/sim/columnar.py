@@ -62,6 +62,9 @@ class ColumnarProgram:
             - np.repeat(self.line_starts[:-1], counts)
         )
 
+        #: per-geometry caches built lazily by :meth:`line_set_pairs`
+        self._pair_cache: dict = {}
+
         # Block-id -> row lookup.  Synthesized programs use dense ids,
         # which makes the lookup a plain indexed load; sparse id spaces
         # fall back to binary search over the sorted ids.
@@ -102,6 +105,26 @@ class ColumnarProgram:
 
     def lines_of_row(self, row: int) -> np.ndarray:
         return self.line_data[self.line_starts[row] : self.line_starts[row + 1]]
+
+    def line_set_pairs(self, num_sets: int) -> list:
+        """Per-row tuples of ``(line, set_index)`` pairs for one geometry.
+
+        The plan-aware replay loop walks a block's lines with the L1I
+        set index already resolved; caching per ``num_sets`` means each
+        (program, geometry) pair pays the flattening once.
+        """
+        pairs = self._pair_cache.get(num_sets)
+        if pairs is None:
+            lines = self.line_data.tolist()
+            sets = (self.line_data % num_sets).tolist()
+            starts = self.line_starts.tolist()
+            pairs = [
+                tuple(zip(lines[starts[row] : starts[row + 1]],
+                          sets[starts[row] : starts[row + 1]]))
+                for row in range(self.num_blocks)
+            ]
+            self._pair_cache[num_sets] = pairs
+        return pairs
 
 
 def columnar_view(program: "Program") -> ColumnarProgram:

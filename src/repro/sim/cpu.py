@@ -129,9 +129,22 @@ class CoreSimulator:
 
             tracker = None
             if any(instr.is_conditional for instr in plan):
-                addresses = {b.block_id: b.address for b in program}
+                # The position table is a pure function of the
+                # (immutable) program addresses and the hash width;
+                # cache it on the program so repeated simulator
+                # constructions — every plan evaluated against the same
+                # app — hash each block address once, not once per run.
+                cache = getattr(program, "_bit_position_tables", None)
+                if cache is None:
+                    cache = {}
+                    setattr(program, "_bit_position_tables", cache)
+                table = cache.get(hash_bits)
+                if table is None:
+                    addresses = {b.block_id: b.address for b in program}
+                    table = bit_position_table(addresses, hash_bits)
+                    cache[hash_bits] = table
                 tracker = LBRRuntimeHash(
-                    bit_position_table(addresses, hash_bits),
+                    table,
                     hash_bits=hash_bits,
                     depth=lbr_depth,
                 )
@@ -145,14 +158,7 @@ class CoreSimulator:
 
     def _hierarchy_pristine(self) -> bool:
         """True when no replay or external access has touched state."""
-        hierarchy = self.hierarchy
-        return (
-            not hierarchy.l1i._sets
-            and not hierarchy.l2._sets
-            and not hierarchy.l3._sets
-            and hierarchy.fill_port.busy_until == 0.0
-            and self.stats == SimStats()
-        )
+        return self.hierarchy.is_pristine() and self.stats == SimStats()
 
     def run(
         self,
@@ -173,35 +179,51 @@ class CoreSimulator:
         prefetch_cpi = 1.0 / self.machine.issue_width
         instr_counts = self._instr_counts
 
-        # Columnar fast path: with no observer and no prefetch engine
-        # there are no per-event hooks to honour, so the replay can run
-        # on the array kernel — bit-identical by construction (see
-        # repro/sim/array_replay.py) and differentially tested.  A
-        # non-pristine hierarchy (re-used simulator) falls back to the
-        # reference loop, which composes with existing state.
+        # Columnar fast paths: with no observer there are no per-event
+        # hooks to honour, so the replay can run on the array kernel —
+        # bit-identical by construction (see repro/sim/array_replay.py)
+        # and differentially tested.  Plan-free runs take `columnar`
+        # (or the ideal counter path); plan-bearing runs take
+        # `columnar-plan`.  A non-pristine hierarchy/engine (re-used
+        # simulator, pre-seeded state) falls back to the reference
+        # loop, which composes with existing state.
         if (
             observer is None
-            and engine is None
             and kernel.numpy_enabled()
             and self._hierarchy_pristine()
         ):
-            from .array_replay import array_replay, ideal_replay
+            if engine is None:
+                from .array_replay import array_replay, ideal_replay
 
-            self.last_replay_backend = "columnar"
-            if self.ideal:
-                return ideal_replay(
-                    self.program, trace, self.machine, stats, warmup=warmup
+                self.last_replay_backend = "columnar"
+                if self.ideal:
+                    return ideal_replay(
+                        self.program, trace, self.machine, stats, warmup=warmup
+                    )
+                array_replay(
+                    self.program,
+                    trace,
+                    self.machine,
+                    stats,
+                    data_traffic=self.data_traffic,
+                    warmup=warmup,
+                    hierarchy=self.hierarchy,
                 )
-            array_replay(
+                return stats
+            from .array_replay import plan_replay
+
+            if plan_replay(
                 self.program,
                 trace,
                 self.machine,
                 stats,
+                engine,
                 data_traffic=self.data_traffic,
                 warmup=warmup,
                 hierarchy=self.hierarchy,
-            )
-            return stats
+            ):
+                self.last_replay_backend = "columnar-plan"
+                return stats
         self.last_replay_backend = "reference"
 
         if observer is not None:

@@ -156,6 +156,23 @@ class MemoryHierarchy:
         self.l1i.fill(line, InsertionPolicy.PREFETCH)
         return self.params.miss_penalty(level)
 
+    # -- queries ---------------------------------------------------------
+
+    def is_pristine(self) -> bool:
+        """True when no fetch, fill, probe or data access has run yet.
+
+        The columnar fast paths replay a trace from scratch, so they
+        require (and assert via this gate) a hierarchy with untouched
+        caches and an idle fill port; anything else composes with prior
+        state and must take the reference loop.
+        """
+        return (
+            self.l1i.is_pristine()
+            and self.l2.is_pristine()
+            and self.l3.is_pristine()
+            and self.fill_port.busy_until == 0.0
+        )
+
     # -- maintenance -----------------------------------------------------
 
     def reset(self) -> None:

@@ -142,6 +142,52 @@ class PrefetchEngine:
         """Pop the pending arrival cycle for *line*, if one exists."""
         return self.inflight.pop(line, None)
 
+    # -- columnar-replay interface -------------------------------------------
+
+    @property
+    def exact_history(self) -> Optional[Deque[int]]:
+        """The exact last-``depth``-blocks window (Fig. 21 ground truth)."""
+        return self._exact_history
+
+    def is_pristine(self) -> bool:
+        """True when no replay has pushed history or issued prefetches.
+
+        The columnar plan replay recomputes engine state from scratch,
+        so a pre-seeded engine (warm tracker, leftover in-flight lines)
+        must take the reference loop instead.
+        """
+        return (
+            not self.inflight
+            and (self.tracker is None or not self.tracker.history())
+            and not self._exact_history
+            and self.false_positive_firings == 0
+            and self.true_positive_firings == 0
+        )
+
+    def restore_runtime_state(
+        self,
+        inflight: Dict[int, float],
+        tracker_history,
+        exact_history,
+        true_positives: int,
+        false_positives: int,
+    ) -> None:
+        """Install post-replay runtime state computed by the columnar path.
+
+        ``tracker_history`` is the suffix of *hashed* retired blocks
+        (at most ``tracker.depth`` of them, oldest first);
+        ``exact_history`` is the suffix of **all** retired blocks for
+        the Fig. 21 ground-truth window.
+        """
+        self.inflight = dict(inflight)
+        if self.tracker is not None:
+            self.tracker.rebuild(tracker_history)
+        if self._exact_history is not None:
+            self._exact_history.clear()
+            self._exact_history.extend(exact_history)
+        self.true_positive_firings = true_positives
+        self.false_positive_firings = false_positives
+
     # -- reporting -----------------------------------------------------------
 
     @property
