@@ -224,3 +224,79 @@ def test_replay_throughput(results_dir):
     # path has stopped being taken
     assert timings["no-plan"] <= timings["ispy"] * 1.10
     assert timings["no-plan"] <= timings["asmdb"] * 1.10
+
+
+def test_telemetry_artifacts_and_overhead(results_dir):
+    """Traced perf-smoke run: the artifacts CI uploads, plus a bound
+    on what span tracing costs the replay hot loop.
+
+    Writes ``BENCH_perf_smoke_trace.jsonl`` (Chrome-trace JSONL) and
+    ``BENCH_perf_smoke_manifest.json`` (schema-validated manifest)
+    next to ``BENCH_perf_smoke.json``.  The disabled-tracing cost is
+    covered by :func:`test_pipeline_speedup` — the pipeline clears its
+    speedup bar with the null tracer installed, which is the default
+    state every untraced run executes in.
+    """
+    from repro.obs.manifest import RunManifest
+    from repro.obs.trace import NULL_TRACER, Tracer, read_trace, set_tracer, use_tracer
+    from repro.runconfig import RunConfig
+
+    settings = ExperimentSettings.small()
+    trace_path = results_dir / "BENCH_perf_smoke_trace.jsonl"
+    manifest_path = results_dir / "BENCH_perf_smoke_manifest.json"
+    try:
+        config = RunConfig(
+            settings=settings,
+            trace_path=trace_path,
+            manifest_path=manifest_path,
+            command="perf-smoke",
+        )
+        evaluator = config.evaluator()
+        evaluator.prewarm(apps=["wordpress"], variants=("baseline", "ispy"))
+        config.finalize(evaluator)
+    finally:
+        set_tracer(None)
+
+    events = read_trace(trace_path)
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert "run:perf-smoke" in names
+    assert "sim:run" in names
+    manifest = RunManifest.load(manifest_path)
+    assert manifest.validate() == []
+    assert "wordpress" in manifest.payload["apps"]
+
+    # Span overhead on the replay hot path: the simulator opens a
+    # handful of spans per run, so even a live tracer should cost
+    # little; the null tracer is the default and costs less still.
+    evaluation = Evaluator(settings)["wordpress"]
+    plan = evaluation.ispy_plan()
+    trace = evaluation.eval_trace
+
+    def best_replay_seconds(tracer) -> float:
+        best = float("inf")
+        for _ in range(REPEATS):
+            core = CoreSimulator(
+                evaluation.app.program,
+                plan=plan,
+                data_traffic=evaluation._eval_data_traffic(),
+            )
+            with use_tracer(tracer):
+                started = time.perf_counter()
+                core.run(trace, warmup=settings.warmup)
+                best = min(best, time.perf_counter() - started)
+        return best
+
+    null_seconds = best_replay_seconds(NULL_TRACER)
+    live_seconds = best_replay_seconds(Tracer())
+    write_json(
+        results_dir,
+        "perf_smoke_telemetry",
+        {
+            "replay_null_tracer_seconds": null_seconds,
+            "replay_live_tracer_seconds": live_seconds,
+            "live_tracer_overhead": live_seconds / null_seconds - 1.0,
+            "trace_events": len(events),
+        },
+    )
+    # generous bound: a few spans per replay must not halve throughput
+    assert live_seconds <= null_seconds * 1.5

@@ -62,6 +62,11 @@ _EXPORTS = {
     "Evaluator": "repro.analysis.experiments:Evaluator",
     "ExperimentSettings": "repro.analysis.experiments:ExperimentSettings",
     "render_table": "repro.analysis.reporting:render_table",
+    # run configuration & observability
+    "RunConfig": "repro.runconfig:RunConfig",
+    "Tracer": "repro.obs.trace:Tracer",
+    "RunManifest": "repro.obs.manifest:RunManifest",
+    "PerfRegistry": "repro.perf:PerfRegistry",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import io as repro_io
 from .. import perf as perf_mod
+from ..obs import trace as trace_mod
 from ..baselines.asmdb import ASMDB_FANOUT_THRESHOLD, AsmDBResult, build_asmdb_plan
 from ..baselines.contiguous import build_window_plan, simulate_window_prefetcher
 from ..baselines.nextline import simulate_nextline
@@ -90,11 +91,13 @@ class AppEvaluation:
         settings: ExperimentSettings,
         store: Optional[ArtifactStore] = None,
         perf: Optional[perf_mod.PerfRegistry] = None,
+        tracer=None,
     ):
         self.name = name
         self.settings = settings
         self.store = store
         self.perf = perf_mod.registry(perf)
+        self.tracer = tracer if tracer is not None else trace_mod.get_tracer()
         self._app: Optional[SyntheticApp] = None
         self._profile: Optional[ExecutionProfile] = None
         self._eval_trace: Optional[BlockTrace] = None
@@ -118,7 +121,9 @@ class AppEvaluation:
     @property
     def app(self) -> SyntheticApp:
         if self._app is None:
-            with self.perf.stage("synthesize"):
+            with self.perf.stage("synthesize"), self.tracer.span(
+                "app:synthesize", app=self.name
+            ):
                 self._app = build_app(self.name, scale=self.settings.scale)
         return self._app
 
@@ -131,6 +136,7 @@ class AppEvaluation:
                 cached = store.load_profile(key)
                 if cached is not None:
                     self.perf.count("store-hit:profile")
+                    self.tracer.instant("store:hit", kind="profile", app=self.name)
                     self._profile = cached
                     return self._profile
             app = self.app
@@ -208,6 +214,7 @@ class AppEvaluation:
             stats = self.store.load_stats(key)
             if stats is not None:
                 self.perf.count("store-hit:stats")
+                self.tracer.instant("store:hit", kind="stats", app=self.name)
                 self._sim_cache[key] = stats
         return stats
 
@@ -229,7 +236,14 @@ class AppEvaluation:
         if cached is not None:
             return cached
         replay = trace if trace is not None else self.eval_trace
-        with self.perf.stage("simulate", units=len(replay.block_ids)):
+        with self.perf.stage("simulate", units=len(replay.block_ids)), (
+            self.tracer.span(
+                "sim:replay",
+                app=self.name,
+                plan=plan.name if plan is not None else None,
+                blocks=len(replay.block_ids),
+            )
+        ) as span:
             core = CoreSimulator(
                 self.app.program,
                 plan=plan,
@@ -238,6 +252,7 @@ class AppEvaluation:
                 data_traffic=self._eval_data_traffic(),
             )
             stats = core.run(replay, warmup=self.settings.warmup)
+            span.set(backend=core.last_replay_backend)
         self.perf.count(
             f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
         )
@@ -257,9 +272,17 @@ class AppEvaluation:
         if cached is not None:
             return cached
         replay = trace if trace is not None else self.eval_trace
-        with self.perf.stage("simulate", units=len(replay.block_ids)):
+        with self.perf.stage("simulate", units=len(replay.block_ids)), (
+            self.tracer.span(
+                "sim:replay",
+                app=self.name,
+                plan="ideal",
+                blocks=len(replay.block_ids),
+            )
+        ) as span:
             core = CoreSimulator(self.app.program, ideal=True)
             stats = core.run(replay, warmup=self.settings.warmup)
+            span.set(backend=core.last_replay_backend)
         self.perf.count(
             f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
         )
@@ -307,6 +330,7 @@ class AppEvaluation:
             plan = self.store.load_plan(self._ispy_plan_key(config))
             if plan is not None:
                 self.perf.count("store-hit:plan")
+                self.tracer.instant("store:hit", kind="plan", app=self.name)
                 return plan
         return self.ispy_result(config).plan
 
@@ -314,7 +338,9 @@ class AppEvaluation:
         self, threshold: float = ASMDB_FANOUT_THRESHOLD
     ) -> AsmDBResult:
         if threshold not in self._asmdb_results:
-            with self.perf.stage("plan:asmdb"):
+            with self.perf.stage("plan:asmdb"), self.tracer.span(
+                "analysis:plan-asmdb", app=self.name, threshold=threshold
+            ):
                 result = build_asmdb_plan(
                     self.app.program, self.profile, fanout_threshold=threshold
                 )
@@ -334,6 +360,7 @@ class AppEvaluation:
             plan = self.store.load_plan(self._asmdb_plan_key(threshold))
             if plan is not None:
                 self.perf.count("store-hit:plan")
+                self.tracer.instant("store:hit", kind="plan", app=self.name)
                 return plan
         return self.asmdb_result(threshold).plan
 
@@ -416,7 +443,14 @@ class AppEvaluation:
         if cached is not None:
             return cached
         replay = self.eval_trace
-        with self.perf.stage("simulate", units=len(replay.block_ids)):
+        with self.perf.stage("simulate", units=len(replay.block_ids)), (
+            self.tracer.span(
+                "sim:replay",
+                app=self.name,
+                plan=variant,
+                blocks=len(replay.block_ids),
+            )
+        ):
             stats = builder(replay)
         self._remember_stats(key, stats)
         return stats
@@ -431,8 +465,11 @@ class AppEvaluation:
                 plan = self.store.load_plan(store_key)
                 if plan is not None:
                     self.perf.count("store-hit:plan")
+                    self.tracer.instant("store:hit", kind="plan", app=self.name)
             if plan is None:
-                with self.perf.stage("plan:window"):
+                with self.perf.stage("plan:window"), self.tracer.span(
+                    "analysis:plan-window", app=self.name, contiguous=contiguous
+                ):
                     plan = build_window_plan(
                         self.app.program, self.profile, window=8,
                         contiguous=contiguous,
@@ -485,15 +522,25 @@ DEFAULT_PREWARM_VARIANTS: Tuple[str, ...] = (
 class Evaluator:
     """Cache of :class:`AppEvaluation` objects, one harness pass.
 
+    The preferred construction is from a :class:`repro.RunConfig`
+    (``Evaluator(config=cfg)`` or ``cfg.evaluator()``), which carries
+    every run-level decision — settings, the persistent ``store``, the
+    worker ``jobs`` count, the kernel gate and the telemetry sinks —
+    in one place.  ``Evaluator(settings)`` remains a supported
+    shorthand; passing the *scattered* ``store``/``jobs``/``perf``
+    keywords directly is deprecated (a shim forwards them into a
+    ``RunConfig`` and warns once per process).
+
     ``store`` (a directory path or :class:`~repro.io.ArtifactStore`)
     makes every expensive artifact — profiles, prefetch plans and
     simulation statistics — persistent across harness runs.  ``jobs``
     greater than one lets :meth:`prewarm` fan independent simulations
     out across worker processes (``jobs=0`` means one per CPU).
 
-    Results are bit-identical regardless of either setting: all
-    seeding derives from the app specs, and parallel workers exchange
-    data only through content-addressed artifacts.
+    Results are bit-identical regardless of any setting here: all
+    seeding derives from the app specs, parallel workers exchange data
+    only through content-addressed artifacts, and telemetry only
+    observes.
     """
 
     def __init__(
@@ -502,13 +549,30 @@ class Evaluator:
         store: Union[None, str, "os.PathLike", ArtifactStore] = None,
         jobs: int = 1,
         perf: Optional[perf_mod.PerfRegistry] = None,
+        *,
+        config=None,
     ):
-        self.settings = settings or ExperimentSettings()
+        from .. import runconfig as runconfig_mod
+
+        if config is None:
+            if store is not None or jobs != 1 or perf is not None:
+                runconfig_mod.warn_scattered_kwargs()
+            config = runconfig_mod.RunConfig(
+                settings=settings, store=store, jobs=jobs, perf=perf
+            )
+        self.config = config
+        self.settings = config.settings
+        store = config.store
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store: Optional[ArtifactStore] = store
-        self.jobs = jobs
-        self.perf = perf_mod.registry(perf)
+        self.jobs = config.jobs
+        self.perf = perf_mod.registry(config.perf)
+        # the config's tracer when it has one, else whatever tracer is
+        # installed process-wide (the null tracer when tracing is off)
+        self.tracer = (
+            config.tracer if config.tracer.enabled else trace_mod.get_tracer()
+        )
         self._apps: Dict[str, AppEvaluation] = {}
         self._ephemeral_store = None
 
@@ -517,7 +581,11 @@ class Evaluator:
             if name not in APP_NAMES:
                 raise KeyError(f"unknown application {name!r}")
             self._apps[name] = AppEvaluation(
-                name, self.settings, store=self.store, perf=self.perf
+                name,
+                self.settings,
+                store=self.store,
+                perf=self.perf,
+                tracer=self.tracer,
             )
         return self._apps[name]
 

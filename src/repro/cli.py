@@ -8,6 +8,14 @@ Commands
 ``evaluate``    run baseline / ideal / AsmDB / I-SPY on one app.
 ``figure``      regenerate one paper figure table (e.g. ``fig10``).
 ``headline``    the abstract's aggregate numbers over all nine apps.
+``report``      generate a full markdown evaluation report.
+
+Every evaluating command shares one set of run-configuration flags
+(scale, jobs, cache, kernel gate, telemetry) registered by
+:func:`repro.runconfig.add_run_arguments` and consumed by
+:meth:`repro.runconfig.RunConfig.from_args` — the CLI is a thin shell
+around the same :class:`~repro.runconfig.RunConfig` object library
+callers use.
 
 Examples
 --------
@@ -15,6 +23,7 @@ Examples
 
     python -m repro apps
     python -m repro evaluate wordpress --scale 0.5
+    python -m repro evaluate wordpress --trace t.jsonl --manifest m.json
     python -m repro figure fig11 --scale 0.6
     python -m repro plan kafka --prefetcher asmdb
 """
@@ -22,13 +31,12 @@ Examples
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from . import kernel
 from .analysis import experiments as exp
 from .analysis.reporting import percent, render_table
+from .runconfig import RunConfig, add_run_arguments
 from .workloads.apps import APP_NAMES
 
 #: figure name -> experiments function (single-table figures only)
@@ -48,77 +56,20 @@ FIGURES = {
     "fig17": exp.fig17_predecessors,
     "fig18": exp.fig18_distance,
     "fig19": exp.fig19_coalesce_size,
+    "fig20": exp.fig20_coalesce_profile,
     "fig21": exp.fig21_hash_size,
 }
 
 
-def _settings(args: argparse.Namespace) -> exp.ExperimentSettings:
-    return exp.ExperimentSettings(
-        profile_length=args.profile_blocks,
-        eval_length=args.eval_blocks,
-        warmup=args.warmup,
-        scale=args.scale,
-    )
+def _begin(args: argparse.Namespace) -> Tuple[RunConfig, exp.Evaluator]:
+    """One invocation's config + evaluator, from the parsed flags."""
+    config = RunConfig.from_args(args)
+    return config, config.evaluator()
 
 
-def _add_scale_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--scale", type=float, default=0.6,
-        help="workload scale factor (1.0 = benchmark size)",
-    )
-    parser.add_argument("--profile-blocks", type=int, default=60_000)
-    parser.add_argument("--eval-blocks", type=int, default=80_000)
-    parser.add_argument("--warmup", type=int, default=16_000)
-
-
-def _add_perf_options(
-    parser: argparse.ArgumentParser,
-    jobs_default: int = 1,
-    cache_default: Optional[str] = None,
-) -> None:
-    parser.add_argument(
-        "--jobs", type=int, default=jobs_default, metavar="N",
-        help="worker processes for independent simulations "
-        "(0 = one per CPU, 1 = serial)",
-    )
-    parser.add_argument(
-        "--cache", default=cache_default, metavar="DIR",
-        help="persistent artifact cache directory "
-        "(profiles, plans and simulation results survive across runs)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the persistent artifact cache",
-    )
-    parser.add_argument(
-        "--timing", action="store_true",
-        help="print per-stage timing and cache-hit counters at the end",
-    )
-    parser.add_argument(
-        "--no-numpy-kernel", action="store_true",
-        help="force the pure-Python reference paths (disables the "
-        "columnar NumPy kernel; results are identical either way)",
-    )
-
-
-def _evaluator(args: argparse.Namespace) -> exp.Evaluator:
-    if getattr(args, "no_numpy_kernel", False):
-        kernel.set_numpy_kernel(False)
-        # Simulation workers are separate processes; the environment
-        # variable carries the choice across the spawn boundary.
-        os.environ[kernel.NUMPY_KERNEL_ENV] = "0"
-    cache = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
-    return exp.Evaluator(
-        _settings(args),
-        store=cache,
-        jobs=getattr(args, "jobs", 1),
-    )
-
-
-def _finish(args: argparse.Namespace, evaluator: exp.Evaluator) -> None:
-    if getattr(args, "timing", False):
-        print()
-        print(evaluator.perf.report())
+def _finish(config: RunConfig, evaluator: exp.Evaluator) -> None:
+    """Close the run: root span, trace file, manifest, timing."""
+    config.finalize(evaluator)
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -141,7 +92,7 @@ def cmd_apps(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     evaluation = evaluator[args.app]
     profile = evaluation.profile
     counts = profile.miss_counts_by_line()
@@ -160,12 +111,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     top = counts.most_common(10)
     rows = [{"line": line, "sampled_misses": count} for line, count in top]
     print(render_table(rows, title="hottest miss lines"))
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     evaluation = evaluator[args.app]
     if args.prefetcher == "asmdb":
         plan = evaluation.asmdb_plan()
@@ -180,12 +131,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(f"  static increase: {percent(plan.static_increase(text))}")
     print(f"  distinct sites: {len(plan.sites())}")
     print(f"  lines covered: {len(plan.covered_lines())}")
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     evaluator.prewarm(
         apps=[args.app], variants=("baseline", "ideal", "asmdb", "ispy")
     )
@@ -233,8 +184,28 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 f"  {channel:21s} {attribution[channel]:12.0f} cycles "
                 f"({percent(fraction)})"
             )
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
+
+
+def _figure_rows(result) -> List[dict]:
+    """Normalize a figure function's return value for render_table.
+
+    Most figure functions return a list of row dicts; a few (fig20)
+    return a single summary mapping, rendered as metric/value rows.
+    """
+    if isinstance(result, dict):
+        import json
+
+        return [
+            {
+                "metric": key,
+                "value": json.dumps(value) if isinstance(value, (dict, list))
+                else value,
+            }
+            for key, value in result.items()
+        ]
+    return result
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -249,17 +220,17 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.name == "table1":
         print(render_table(function(), title="Table I"))
         return 0
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     if args.jobs != 1:
         evaluator.prewarm()
-    rows = function(evaluator)
+    rows = _figure_rows(function(evaluator))
     print(render_table(rows, title=args.name, precision=4))
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     evaluator.prewarm(variants=("baseline", "ideal", "asmdb", "ispy"))
     summary = exp.headline_summary(evaluator)
     print(f"mean I-SPY speedup:      +{summary['mean_speedup'] * 100:.1f}%")
@@ -271,19 +242,19 @@ def cmd_headline(args: argparse.Namespace) -> int:
         "mean improvement vs AsmDB: "
         f"{percent(summary['mean_improvement_over_asmdb'])}"
     )
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import write_report
 
-    evaluator = _evaluator(args)
+    config, evaluator = _begin(args)
     target = write_report(
         args.output, evaluator, include_sweeps=not args.no_sweeps
     )
     print(f"report written to {target}")
-    _finish(args, evaluator)
+    _finish(config, evaluator)
     return 0
 
 
@@ -300,8 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_profile = commands.add_parser("profile", help="profile one application")
     p_profile.add_argument("app", choices=APP_NAMES)
-    _add_scale_options(p_profile)
-    _add_perf_options(p_profile)
+    add_run_arguments(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_plan = commands.add_parser("plan", help="build and describe a plan")
@@ -309,20 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument(
         "--prefetcher", choices=("ispy", "asmdb"), default="ispy"
     )
-    _add_scale_options(p_plan)
-    _add_perf_options(p_plan)
+    add_run_arguments(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
     p_eval = commands.add_parser("evaluate", help="evaluate one application")
     p_eval.add_argument("app", choices=APP_NAMES)
-    _add_scale_options(p_eval)
-    _add_perf_options(p_eval)
+    add_run_arguments(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_figure = commands.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name", help="e.g. fig10, fig21, table1")
-    _add_scale_options(p_figure)
-    _add_perf_options(p_figure)
+    add_run_arguments(p_figure)
     p_figure.set_defaults(func=cmd_figure)
 
     p_report = commands.add_parser(
@@ -333,17 +300,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sweeps", action="store_true",
         help="skip the slow sensitivity sweeps",
     )
-    _add_scale_options(p_report)
     # the full report is the expensive entry point: parallel over all
     # CPUs and persistently cached by default
-    _add_perf_options(p_report, jobs_default=0, cache_default=".repro-cache")
+    add_run_arguments(p_report, jobs_default=0, cache_default=".repro-cache")
     p_report.set_defaults(func=cmd_report)
 
     p_headline = commands.add_parser(
         "headline", help="abstract-level aggregate numbers"
     )
-    _add_scale_options(p_headline)
-    _add_perf_options(p_headline)
+    add_run_arguments(p_headline)
     p_headline.set_defaults(func=cmd_headline)
 
     return parser

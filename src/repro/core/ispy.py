@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.trace import get_tracer
 from ..profiling.profiler import ExecutionProfile
 from ..sim.trace import Program
 from .coalesce import (
@@ -77,44 +78,61 @@ class ISpy:
 
     def build_plan(self, program: Program, profile: ExecutionProfile) -> ISpyResult:
         """Analyze *profile* and emit the prefetch plan for *program*."""
+        tracer = get_tracer()
+        with tracer.span("analysis:plan-ispy", program=program.name):
+            return self._build_plan(program, profile, tracer)
+
+    def _build_plan(
+        self, program: Program, profile: ExecutionProfile, tracer
+    ) -> ISpyResult:
         config = self.config
         report = ISpyReport(config=config)
         planned: List[PlannedPrefetch] = []
 
-        for line, _count in frequent_miss_lines(profile, config):
-            report.considered_lines += 1
-            selection = select_site(profile, line, config)
-            report.selections[line] = selection
-            if selection.chosen is None:
-                report.uncovered_lines.append(line)
-                continue
-            site = selection.chosen
+        with tracer.span("analysis:context-discovery") as span:
+            for line, _count in frequent_miss_lines(profile, config):
+                report.considered_lines += 1
+                selection = select_site(profile, line, config)
+                report.selections[line] = selection
+                if selection.chosen is None:
+                    report.uncovered_lines.append(line)
+                    continue
+                site = selection.chosen
 
-            context_blocks: Tuple[int, ...] = ()
-            if (
-                config.enable_conditional
-                and site.fanout > config.conditional_fanout_threshold
-            ):
-                context = discover_context(profile, site.block_id, line, config)
-                if context is not None:
-                    context_blocks = context.blocks
-                    report.contexts[(site.block_id, line)] = context
+                context_blocks: Tuple[int, ...] = ()
+                if (
+                    config.enable_conditional
+                    and site.fanout > config.conditional_fanout_threshold
+                ):
+                    context = discover_context(profile, site.block_id, line, config)
+                    if context is not None:
+                        context_blocks = context.blocks
+                        report.contexts[(site.block_id, line)] = context
 
-            planned.append(
-                PlannedPrefetch(
-                    site=site.block_id,
-                    line=line,
-                    context=context_blocks,
-                    covers=(line,),
+                planned.append(
+                    PlannedPrefetch(
+                        site=site.block_id,
+                        line=line,
+                        context=context_blocks,
+                        covers=(line,),
+                    )
                 )
+            span.set(
+                lines=report.considered_lines,
+                contexts=len(report.contexts),
+                uncovered=len(report.uncovered_lines),
             )
 
-        if config.enable_coalescing:
-            groups, report.coalesce_stats = coalesce_prefetches(
-                planned, config.coalesce_bits
-            )
-        else:
-            groups = passthrough_groups(planned)
+        with tracer.span(
+            "analysis:coalescing", enabled=config.enable_coalescing
+        ) as span:
+            if config.enable_coalescing:
+                groups, report.coalesce_stats = coalesce_prefetches(
+                    planned, config.coalesce_bits
+                )
+            else:
+                groups = passthrough_groups(planned)
+            span.set(planned=len(planned), groups=len(groups))
 
         plan = PrefetchPlan(name="ispy")
         addresses = {block.block_id: block.address for block in program}

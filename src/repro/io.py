@@ -31,7 +31,7 @@ import os
 import tempfile
 from collections import Counter
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from .core.instructions import PrefetchInstr, PrefetchPlan
 from .profiling.pebs import MissSample
@@ -345,6 +345,12 @@ class ArtifactStore:
         self.base = self.root / f"v{CACHE_SCHEMA_VERSION}"
         for sub in ("profiles", "plans", "stats"):
             (self.base / sub).mkdir(parents=True, exist_ok=True)
+        # per-kind lookup accounting; the run manifest reports these as
+        # the store's hit rate (a worker process counts its own store
+        # object — rates are per process, like everything else shipped
+        # back with job results)
+        self._hits: Counter = Counter()
+        self._misses: Counter = Counter()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactStore({str(self.root)!r})"
@@ -386,6 +392,19 @@ class ArtifactStore:
     def has(self, kind: str, key: str) -> bool:
         return self._path(kind, key).exists()
 
+    def _record(self, kind: str, hit: bool) -> None:
+        (self._hits if hit else self._misses)[kind] += 1
+
+    def counters(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """``(hits, misses)`` per artifact kind, since construction."""
+        return dict(self._hits), dict(self._misses)
+
+    def hit_rate(self) -> Optional[float]:
+        """Fraction of lookups served from disk; None before any."""
+        hits = sum(self._hits.values())
+        lookups = hits + sum(self._misses.values())
+        return hits / lookups if lookups else None
+
     # -- profiles ------------------------------------------------------
 
     def save_profile(self, key: str, profile: ExecutionProfile) -> None:
@@ -394,12 +413,15 @@ class ArtifactStore:
 
     def load_profile(self, key: str) -> Optional[ExecutionProfile]:
         payload = self._read_json(self._path("profiles", key), compressed=True)
-        if payload is None:
-            return None
-        try:
-            return profile_from_dict(payload)
-        except (FormatError, KeyError, TypeError):
-            return None
+        if payload is not None:
+            try:
+                profile = profile_from_dict(payload)
+            except (FormatError, KeyError, TypeError):
+                profile = None
+        else:
+            profile = None
+        self._record("profile", profile is not None)
+        return profile
 
     # -- plans ---------------------------------------------------------
 
@@ -409,12 +431,15 @@ class ArtifactStore:
 
     def load_plan(self, key: str) -> Optional[PrefetchPlan]:
         payload = self._read_json(self._path("plans", key), compressed=False)
-        if payload is None:
-            return None
-        try:
-            return plan_from_dict(payload)
-        except (FormatError, KeyError, TypeError):
-            return None
+        if payload is not None:
+            try:
+                plan = plan_from_dict(payload)
+            except (FormatError, KeyError, TypeError):
+                plan = None
+        else:
+            plan = None
+        self._record("plan", plan is not None)
+        return plan
 
     # -- simulation results --------------------------------------------
 
@@ -424,9 +449,12 @@ class ArtifactStore:
 
     def load_stats(self, key: str) -> Optional[SimStats]:
         payload = self._read_json(self._path("stats", key), compressed=False)
-        if payload is None:
-            return None
-        try:
-            return stats_from_record(payload)
-        except (FormatError, KeyError, TypeError):
-            return None
+        if payload is not None:
+            try:
+                stats = stats_from_record(payload)
+            except (FormatError, KeyError, TypeError):
+                stats = None
+        else:
+            stats = None
+        self._record("stats", stats is not None)
+        return stats

@@ -1,0 +1,62 @@
+"""Observability: span tracing, run manifests, metrics export.
+
+The three perf PRs (parallel evaluator, persistent artifact store,
+columnar kernel) made the pipeline fast but opaque — backend
+selection, cache hits and worker behaviour were invisible after the
+fact.  This package is the window back in:
+
+``repro.obs.trace``
+    Nestable spans emitting Chrome-trace-event-compatible JSONL.
+    Worker-process spans ship back with job results and are
+    re-parented onto the parent timeline on merge, mirroring how
+    :meth:`repro.perf.PerfRegistry.snapshot`/``merge`` already cross
+    the ``ProcessPoolExecutor`` boundary.
+
+``repro.obs.manifest``
+    A per-invocation run manifest — resolved settings, seeds, package
+    version, kernel gate state, per-backend simulate counts, artifact
+    store hit rates and per-app stats digests — so any figure number
+    can be traced to exactly what produced it.
+
+Both are carried by :class:`repro.runconfig.RunConfig` (CLI flags
+``--trace PATH`` and ``--manifest PATH``).  Tracing disabled is a
+strict no-op: the :data:`~repro.obs.trace.NULL_TRACER` absorbs every
+instrumentation call, and simulated statistics are bit-identical with
+tracing on or off.
+"""
+
+from .manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ManifestError,
+    RunManifest,
+    validate_manifest,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "read_trace",
+    "set_tracer",
+    "use_tracer",
+    "validate_manifest",
+]

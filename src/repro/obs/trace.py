@@ -1,0 +1,357 @@
+"""Span-based tracing: Chrome-trace-event JSONL for pipeline runs.
+
+A :class:`Tracer` records nestable spans —
+
+::
+
+    with tracer.span("analysis:context-discovery", app="kafka"):
+        ...
+
+— as *complete* (``"ph": "X"``) events in the Trace Event Format, so a
+run's trace loads directly in ``chrome://tracing`` or Perfetto.  Span
+categories derive from the name's ``prefix:`` (``sim``, ``analysis``,
+``profiling``, …), which is what the viewers filter on.
+
+Design constraints:
+
+* **Null by default.**  :func:`get_tracer` returns :data:`NULL_TRACER`
+  until a run installs a real tracer (via
+  :meth:`repro.runconfig.RunConfig.apply` or :func:`use_tracer`), so
+  every instrumentation site in the pipeline is a cheap no-op in the
+  common case.  The tracer only observes, never steers: simulated
+  statistics are bit-identical with tracing on or off.
+
+* **Cross-process.**  Worker processes of the parallel evaluator build
+  their own tracer, ship :meth:`Tracer.snapshot` back with the job
+  result, and the parent :meth:`Tracer.absorb`\\ s it — the same
+  pattern :class:`repro.perf.PerfRegistry` uses for stage counters.
+  Both sides anchor ``perf_counter`` durations to the Unix epoch, so
+  absorbed events need no clock shifting; absorb re-parents them onto
+  one synthetic thread per worker pid in the parent's process row.
+
+* **Loadable.**  :meth:`Tracer.write` emits the JSON-array flavour of
+  the format with one event per line (the spec explicitly permits the
+  unterminated, trailing-comma array, so the file doubles as JSONL);
+  :func:`read_trace` parses it back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+
+def _category(name: str) -> str:
+    """Event category: the ``prefix:`` of a span name, if any."""
+    prefix, sep, _ = name.partition(":")
+    return prefix if sep else "run"
+
+
+class Span:
+    """One open span; becomes a complete ``"X"`` event when ended."""
+
+    __slots__ = ("name", "args", "start_us")
+
+    def __init__(self, name: str, args: Dict[str, Any], start_us: float):
+        self.name = name
+        self.args = args
+        self.start_us = start_us
+
+    def set(self, **args: Any) -> None:
+        """Attach (or overwrite) argument values mid-span — e.g. a
+        replay backend that is only known once the run completed."""
+        self.args.update(args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, args={self.args!r})"
+
+
+class _NullSpan:
+    """The span the null tracer hands out: accepts and drops args."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumentation sites call the same methods whether tracing is on
+    or off; this class is why "off" costs one attribute lookup and a
+    shared-singleton context manager, nothing more.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def start_span(self, name: str, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def end_span(self, span: object) -> None:
+        pass
+
+    def instant(self, name: str, **args: Any) -> None:
+        pass
+
+    def counter(self, name: str, **values: Any) -> None:
+        pass
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+    def absorb(self, events: Iterable[Dict[str, Any]]) -> None:
+        pass
+
+    def write(self, path: Union[str, Path]) -> Path:
+        raise RuntimeError("the null tracer records nothing to write")
+
+
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.end_span(self._span)
+        return False
+
+
+class Tracer:
+    """Records spans, instants and counters for one process."""
+
+    enabled = True
+
+    def __init__(self, process_label: str = "repro"):
+        self.pid = os.getpid()
+        self._events: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        # perf_counter carries the precision; anchoring it to the Unix
+        # epoch aligns parent and worker timelines without any shifting
+        # when worker snapshots are absorbed.
+        self._epoch = time.time() - time.perf_counter()
+        self._named_threads: set = set()
+        self._events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": self.pid,
+                "args": {"name": process_label},
+            }
+        )
+        self._thread_meta(self.pid, "main")
+
+    # -- clock ---------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (self._epoch + time.perf_counter()) * 1e6
+
+    def _thread_meta(self, tid: int, name: str) -> None:
+        self._named_threads.add(tid)
+        self._events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, **args: Any) -> _SpanContext:
+        """Open a nestable span as a context manager yielding the
+        :class:`Span` (so callers can ``span.set(...)`` late args)."""
+        return _SpanContext(self, self.start_span(name, **args))
+
+    def start_span(self, name: str, **args: Any) -> Span:
+        """Explicitly open a span; pair with :meth:`end_span`."""
+        span = Span(name, args, self._now_us())
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close *span* and emit its complete event."""
+        end = self._now_us()
+        try:
+            self._stack.remove(span)
+        except ValueError:
+            pass
+        self._events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": end - span.start_us,
+                "pid": self.pid,
+                "tid": self.pid,
+                "args": dict(span.args),
+            }
+        )
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- point events --------------------------------------------------
+
+    def instant(self, name: str, **args: Any) -> None:
+        """A zero-duration event (store hit, fallback decision, …)."""
+        self._events.append(
+            {
+                "name": name,
+                "cat": _category(name),
+                "ph": "i",
+                "s": "t",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": self.pid,
+                "args": args,
+            }
+        )
+
+    def counter(self, name: str, **values: float) -> None:
+        """A counter sample — rendered as a stacked area track."""
+        self._events.append(
+            {
+                "name": name,
+                "cat": _category(name),
+                "ph": "C",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": self.pid,
+                "args": values,
+            }
+        )
+
+    # -- aggregation across processes ----------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """A picklable copy of every recorded event, for shipping back
+        from worker processes with the job result."""
+        return [dict(event) for event in self._events]
+
+    def absorb(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Re-parent another process's :meth:`snapshot` onto this
+        timeline.
+
+        Absorbed events keep their own timestamps (both clocks anchor
+        to the Unix epoch) but move into this tracer's process, on one
+        synthetic thread per worker pid; ``"X"`` events are tagged with
+        the span that was open here when the merge happened.
+        """
+        parent = self._stack[-1].name if self._stack else None
+        for event in events:
+            if event.get("ph") == "M":
+                # metadata is re-issued below under the parent's pid
+                continue
+            event = dict(event)
+            worker = int(event.get("pid", 0))
+            if worker not in self._named_threads:
+                self._thread_meta(worker, f"worker-{worker}")
+            event["pid"] = self.pid
+            event["tid"] = worker
+            if parent is not None and event.get("ph") == "X":
+                event["args"] = dict(event.get("args") or {})
+                event["args"]["reparented_under"] = parent
+            self._events.append(event)
+
+    # -- persistence ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the trace as Chrome-trace-event JSONL.
+
+        The file is the JSON *array* flavour of the Trace Event Format
+        with one event per line; the spec permits the unterminated
+        trailing-comma array ("the ] is optional"), which is what lets
+        the same file be consumed line-by-line as JSONL.
+        """
+        target = Path(path)
+        with target.open("w", encoding="utf-8") as out:
+            out.write("[\n")
+            for event in self._events:
+                out.write(json.dumps(event, sort_keys=True, separators=(",", ":")))
+                out.write(",\n")
+        return target
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a file written by :meth:`Tracer.write` (or any one-event-
+    per-line Trace Event array) back into a list of event dicts."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip().rstrip(",")
+        if not line or line in ("[", "]"):
+            continue
+        events.append(json.loads(line))
+    return events
+
+
+# -- the process-current tracer ---------------------------------------------
+
+#: The tracer instrumentation sites see.  NULL until a run installs one.
+_current: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The tracer for this process (the null tracer when disabled)."""
+    return _current
+
+
+def set_tracer(tracer: Union[Tracer, NullTracer, None]) -> Union[Tracer, NullTracer]:
+    """Install *tracer* process-wide; ``None`` restores the null tracer."""
+    global _current
+    _current = NULL_TRACER if tracer is None else tracer
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Union[Tracer, NullTracer, None]) -> Iterator[Union[Tracer, NullTracer]]:
+    """Temporarily install *tracer* for the enclosed block."""
+    previous = _current
+    installed = set_tracer(tracer)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous)

@@ -246,13 +246,22 @@ def profile_execution(
     data_traffic=None,
 ) -> ExecutionProfile:
     """Profile one execution of *trace* (no prefetching active)."""
-    if kernel.numpy_enabled():
-        return _profile_execution_columnar(
+    from ..obs.trace import get_tracer
+
+    columnar = kernel.numpy_enabled()
+    with get_tracer().span(
+        "profiling:execution",
+        program=program.name,
+        blocks=len(trace.block_ids),
+        backend="columnar" if columnar else "reference",
+    ):
+        if columnar:
+            return _profile_execution_columnar(
+                program, trace, machine, sample_period, data_traffic
+            )
+        return _profile_execution_reference(
             program, trace, machine, sample_period, data_traffic
         )
-    return _profile_execution_reference(
-        program, trace, machine, sample_period, data_traffic
-    )
 
 
 def _profile_execution_reference(

@@ -1,0 +1,224 @@
+"""Unified run configuration: one object that describes an invocation.
+
+Before this module, every entry point re-plumbed the same knobs by
+hand — the CLI through ``_add_scale_options``/``_add_perf_options``
+duplicated per subcommand, the :class:`~repro.analysis.experiments.
+Evaluator` through scattered keyword arguments, and the kernel gate
+through direct ``repro.kernel`` calls.  :class:`RunConfig` is the
+single carrier for all of it:
+
+* experiment settings (trace lengths, workload scale);
+* execution (worker ``jobs``, the persistent artifact ``store``);
+* the columnar-kernel gate (tri-state: force on, force off, defer to
+  the environment);
+* telemetry sinks — the span :class:`~repro.obs.trace.Tracer` behind
+  ``--trace``, the :class:`~repro.obs.manifest.RunManifest` behind
+  ``--manifest``, the :class:`~repro.perf.PerfRegistry` behind
+  ``--timing``.
+
+The CLI builds one via :meth:`RunConfig.from_args`, library callers
+construct it directly, and both hand it to :meth:`RunConfig.evaluator`.
+Telemetry only observes: the simulated statistics of a run are
+bit-identical whatever the sinks.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Union
+
+from . import kernel
+from . import perf as perf_mod
+from .obs.manifest import RunManifest
+from .obs.trace import NULL_TRACER, NullTracer, Tracer, set_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    import argparse
+
+    from .analysis.experiments import Evaluator, ExperimentSettings
+    from .io import ArtifactStore
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class RunConfig:
+    """Everything one invocation of the pipeline needs to know."""
+
+    #: trace lengths and workload scale (defaults to ``ExperimentSettings()``)
+    settings: Optional["ExperimentSettings"] = None
+    #: worker processes for independent simulations (0 = one per CPU)
+    jobs: int = 1
+    #: persistent artifact cache: a directory path, an
+    #: :class:`~repro.io.ArtifactStore`, or None for in-memory only
+    store: Union[None, PathLike, "ArtifactStore"] = None
+    #: columnar-kernel gate: True forces it on, False forces the
+    #: reference paths, None defers to ``REPRO_NUMPY_KERNEL``/default
+    numpy_kernel: Optional[bool] = None
+    #: print the per-stage timing report when the run finishes
+    timing: bool = False
+    #: write a Chrome-trace-event JSONL of the run's spans here
+    trace_path: Optional[PathLike] = None
+    #: write the run manifest (provenance record) here
+    manifest_path: Optional[PathLike] = None
+    #: span sink; defaults to a live tracer iff ``trace_path`` is set
+    tracer: Union[Tracer, NullTracer, None] = None
+    #: stage-timing sink; None uses the process-wide registry
+    perf: Optional[perf_mod.PerfRegistry] = None
+    #: label for the root span / manifest (the CLI subcommand)
+    command: Optional[str] = None
+
+    _root_span: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.settings is None:
+            from .analysis.experiments import ExperimentSettings
+
+            self.settings = ExperimentSettings()
+        if self.tracer is None:
+            self.tracer = Tracer() if self.trace_path else NULL_TRACER
+
+    @classmethod
+    def from_args(cls, args: "argparse.Namespace") -> "RunConfig":
+        """Build a config from a parsed CLI namespace
+        (see :func:`add_run_arguments`)."""
+        from .analysis.experiments import ExperimentSettings
+
+        settings = ExperimentSettings(
+            profile_length=args.profile_blocks,
+            eval_length=args.eval_blocks,
+            warmup=args.warmup,
+            scale=args.scale,
+        )
+        store = None if getattr(args, "no_cache", False) else getattr(args, "cache", None)
+        return cls(
+            settings=settings,
+            jobs=getattr(args, "jobs", 1),
+            store=store,
+            numpy_kernel=False if getattr(args, "no_numpy_kernel", False) else None,
+            timing=getattr(args, "timing", False),
+            trace_path=getattr(args, "trace", None),
+            manifest_path=getattr(args, "manifest", None),
+            command=getattr(args, "command", None),
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def apply(self) -> None:
+        """Install the process-wide pieces this config describes."""
+        if self.numpy_kernel is not None:
+            kernel.set_numpy_kernel(self.numpy_kernel)
+            # Simulation workers are separate processes; the environment
+            # variable carries the choice across the spawn boundary.
+            os.environ[kernel.NUMPY_KERNEL_ENV] = "1" if self.numpy_kernel else "0"
+        set_tracer(self.tracer)
+        if self.tracer.enabled and self.command and self._root_span is None:
+            self._root_span = self.tracer.start_span(f"run:{self.command}")
+
+    def evaluator(self) -> "Evaluator":
+        """Apply the config and build its :class:`Evaluator`."""
+        from .analysis.experiments import Evaluator
+
+        self.apply()
+        return Evaluator(config=self)
+
+    def finalize(self, evaluator: "Evaluator") -> None:
+        """End-of-run bookkeeping: close the root span and write the
+        configured sinks (trace file, manifest, timing report)."""
+        if self._root_span is not None:
+            self.tracer.end_span(self._root_span)
+            self._root_span = None
+        if self.trace_path and self.tracer.enabled:
+            target = self.tracer.write(self.trace_path)
+            print(f"trace written to {target}")
+        if self.manifest_path:
+            manifest = RunManifest.collect(
+                evaluator, command=self.command, trace_path=self.trace_path
+            )
+            target = manifest.write(self.manifest_path)
+            print(f"manifest written to {target}")
+        if self.timing:
+            print()
+            print(evaluator.perf.report())
+
+
+def add_run_arguments(
+    parser: "argparse.ArgumentParser",
+    jobs_default: int = 1,
+    cache_default: Optional[str] = None,
+) -> None:
+    """Register the shared run-configuration flags on *parser*.
+
+    This is the one place the CLI's scale, performance and telemetry
+    options are defined; every subcommand that evaluates anything
+    calls it, and :meth:`RunConfig.from_args` consumes the result.
+    """
+    scale = parser.add_argument_group("workload scale")
+    scale.add_argument(
+        "--scale", type=float, default=0.6,
+        help="workload scale factor (1.0 = benchmark size)",
+    )
+    scale.add_argument("--profile-blocks", type=int, default=60_000)
+    scale.add_argument("--eval-blocks", type=int, default=80_000)
+    scale.add_argument("--warmup", type=int, default=16_000)
+
+    run = parser.add_argument_group("execution")
+    run.add_argument(
+        "--jobs", type=int, default=jobs_default, metavar="N",
+        help="worker processes for independent simulations "
+        "(0 = one per CPU, 1 = serial)",
+    )
+    run.add_argument(
+        "--cache", default=cache_default, metavar="DIR",
+        help="persistent artifact cache directory "
+        "(profiles, plans and simulation results survive across runs)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache",
+    )
+    run.add_argument(
+        "--no-numpy-kernel", action="store_true",
+        help="force the pure-Python reference paths (disables the "
+        "columnar NumPy kernel; results are identical either way)",
+    )
+
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--timing", action="store_true",
+        help="print per-stage timing and cache-hit counters at the end",
+    )
+    telemetry.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record spans to a Chrome-trace-event JSONL file "
+        "(open in chrome://tracing or Perfetto)",
+    )
+    telemetry.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write a run manifest (settings, version, kernel state, "
+        "backend counts, cache hit rates, result digests)",
+    )
+
+
+_SCATTERED_WARNED = False
+
+
+def warn_scattered_kwargs() -> None:
+    """One DeprecationWarning per process for ``Evaluator(**kwargs)``
+    construction with scattered store/jobs/perf arguments."""
+    global _SCATTERED_WARNED
+    if _SCATTERED_WARNED:
+        return
+    _SCATTERED_WARNED = True
+    warnings.warn(
+        "passing store/jobs/perf to Evaluator directly is deprecated; "
+        "build a repro.RunConfig and call RunConfig.evaluator() (or pass "
+        "Evaluator(config=...)) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+__all__ = ["RunConfig", "add_run_arguments", "warn_scattered_kwargs"]

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from .columnar import columnar_view
 from .hierarchy import MemoryHierarchy
 from .params import MachineParams
@@ -630,6 +631,7 @@ def plan_replay(
     is exact, never approximate.
     """
     if not engine.is_pristine():
+        get_tracer().instant("sim:plan-fallback", reason="engine-state")
         return False
 
     view = columnar_view(program)
@@ -715,6 +717,9 @@ def plan_replay(
                 starts[deep] = hashed_idx[push_rank[deep] - (depth + 1)]
                 peaks = prefix[hashed_idx + 1] - prefix[starts]
                 if int(peaks.max()) > tracker.max_count:
+                    get_tracer().instant(
+                        "sim:plan-fallback", reason="bloom-overflow"
+                    )
                     return False
 
         def window_counts(ts: np.ndarray) -> np.ndarray:

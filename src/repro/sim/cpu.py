@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from .. import kernel
+from ..obs.trace import get_tracer
 from .frontend import FetchEngine
 from .hierarchy import MemoryHierarchy
 from .params import MachineParams
@@ -115,6 +116,10 @@ class CoreSimulator:
         self.stats = SimStats()
         #: which replay implementation the last run() used
         self.last_replay_backend = "reference"
+        #: why the last run() fell back to the reference loop, when it
+        #: did: "observer", "kernel-disabled", "state-not-pristine" or
+        #: "plan-ineligible"; None when a columnar path served the run
+        self.last_fallback_reason: Optional[str] = None
         self.engine: Optional[PrefetchEngine] = None
         self._instr_counts: Dict[int, int] = {
             block.block_id: block.instruction_count for block in program
@@ -173,6 +178,25 @@ class CoreSimulator:
         steady-state measurement methodology of Section V ("We record
         up to 100 million instructions executed in steady-state").
         """
+        with get_tracer().span(
+            "sim:run",
+            program=self.program.name,
+            blocks=len(trace.block_ids),
+            ideal=self.ideal,
+            observed=observer is not None,
+        ) as span:
+            stats = self._replay(trace, observer, warmup)
+            span.set(backend=self.last_replay_backend)
+            if self.last_fallback_reason is not None:
+                span.set(fallback=self.last_fallback_reason)
+        return stats
+
+    def _replay(
+        self,
+        trace: BlockTrace,
+        observer: Optional[TraceObserver],
+        warmup: int,
+    ) -> SimStats:
         stats = self.stats
         engine = self.engine
         cpi = 1.0 / self.machine.base_ipc
@@ -186,16 +210,23 @@ class CoreSimulator:
         # (or the ideal counter path); plan-bearing runs take
         # `columnar-plan`.  A non-pristine hierarchy/engine (re-used
         # simulator, pre-seeded state) falls back to the reference
-        # loop, which composes with existing state.
-        if (
-            observer is None
-            and kernel.numpy_enabled()
-            and self._hierarchy_pristine()
-        ):
+        # loop, which composes with existing state.  The first failing
+        # check, in the same short-circuit order the selection always
+        # used, is recorded as the fallback reason.
+        if observer is not None:
+            fallback: Optional[str] = "observer"
+        elif not kernel.numpy_enabled():
+            fallback = "kernel-disabled"
+        elif not self._hierarchy_pristine():
+            fallback = "state-not-pristine"
+        else:
+            fallback = None
+        if fallback is None:
             if engine is None:
                 from .array_replay import array_replay, ideal_replay
 
                 self.last_replay_backend = "columnar"
+                self.last_fallback_reason = None
                 if self.ideal:
                     return ideal_replay(
                         self.program, trace, self.machine, stats, warmup=warmup
@@ -223,8 +254,11 @@ class CoreSimulator:
                 hierarchy=self.hierarchy,
             ):
                 self.last_replay_backend = "columnar-plan"
+                self.last_fallback_reason = None
                 return stats
+            fallback = "plan-ineligible"
         self.last_replay_backend = "reference"
+        self.last_fallback_reason = fallback
 
         if observer is not None:
             fetch: FetchEngine = _ObservingFetchEngine(

@@ -17,6 +17,7 @@ from repro.analysis.experiments import (
 from repro.analysis.jobs import resolve_jobs
 from repro.io import ArtifactStore, stats_to_record
 from repro.perf import PerfRegistry
+from repro.runconfig import RunConfig
 
 APPS = ("wordpress", "kafka")
 VARIANTS = ("baseline", "ideal", "asmdb", "ispy")
@@ -46,7 +47,7 @@ def serial_records(serial_evaluator):
 
 class TestParallelEqualsSerial:
     def test_two_workers_bit_identical(self, serial_records):
-        evaluator = Evaluator(SETTINGS, jobs=2)
+        evaluator = Evaluator(config=RunConfig(settings=SETTINGS, jobs=2))
         evaluator.prewarm(apps=APPS, variants=VARIANTS)
         for name in APPS:
             for variant in VARIANTS:
@@ -56,7 +57,7 @@ class TestParallelEqualsSerial:
                 ), f"{name}/{variant} diverged under jobs=2"
 
     def test_parallel_prewarm_populates_memory_caches(self):
-        evaluator = Evaluator(SETTINGS, jobs=2)
+        evaluator = Evaluator(config=RunConfig(settings=SETTINGS, jobs=2))
         evaluator.prewarm(apps=["wordpress"], variants=VARIANTS)
         perf = PerfRegistry()
         evaluator.perf = perf
@@ -69,7 +70,7 @@ class TestParallelEqualsSerial:
         assert perf.calls("simulate") == 0
 
     def test_ephemeral_store_created_for_parallel_runs(self):
-        evaluator = Evaluator(SETTINGS, jobs=2)
+        evaluator = Evaluator(config=RunConfig(settings=SETTINGS, jobs=2))
         assert evaluator.store is None
         evaluator._ensure_store()
         assert isinstance(evaluator.store, ArtifactStore)
@@ -81,13 +82,21 @@ class TestPersistentWarmRun:
         self, tmp_path, serial_records
     ):
         cold_perf = PerfRegistry()
-        cold = Evaluator(SETTINGS, store=tmp_path / "cache", perf=cold_perf)
+        cold = Evaluator(
+            config=RunConfig(
+                settings=SETTINGS, store=tmp_path / "cache", perf=cold_perf
+            )
+        )
         cold.prewarm(apps=["wordpress"], variants=VARIANTS)
         assert cold_perf.calls("simulate") == len(VARIANTS)
         assert cold_perf.calls("profile") == 1
 
         warm_perf = PerfRegistry()
-        warm = Evaluator(SETTINGS, store=tmp_path / "cache", perf=warm_perf)
+        warm = Evaluator(
+            config=RunConfig(
+                settings=SETTINGS, store=tmp_path / "cache", perf=warm_perf
+            )
+        )
         warm.prewarm(apps=["wordpress"], variants=VARIANTS)
         assert warm_perf.calls("simulate") == 0
         assert warm_perf.calls("profile") == 0
@@ -151,7 +160,11 @@ class TestKeyGranularity:
     def test_sweep_stats_do_not_alias(self, tmp_path):
         """Fig. 3-style sweep: distinct thresholds, distinct artifacts."""
         perf = PerfRegistry()
-        evaluator = Evaluator(SETTINGS, store=tmp_path / "cache", perf=perf)
+        evaluator = Evaluator(
+            config=RunConfig(
+                settings=SETTINGS, store=tmp_path / "cache", perf=perf
+            )
+        )
         ev = evaluator["wordpress"]
         low = ev.run_plan(ev.asmdb_plan(0.5))
         high = ev.run_plan(ev.asmdb_plan(0.99))

@@ -30,6 +30,55 @@ class TestLazyExports:
     def test_app_names_exported(self):
         assert len(repro.APP_NAMES) == 9
 
+    def test_dir_matches_all(self):
+        assert sorted(dir(repro)) == sorted(repro.__all__)
+
+    def test_observability_exports_are_canonical(self):
+        from repro.obs.manifest import RunManifest
+        from repro.obs.trace import Tracer
+        from repro.perf import PerfRegistry
+        from repro.runconfig import RunConfig
+
+        assert repro.RunConfig is RunConfig
+        assert repro.Tracer is Tracer
+        assert repro.RunManifest is RunManifest
+        assert repro.PerfRegistry is PerfRegistry
+
+
+class TestApiSnapshot:
+    """The public surface is a contract: additions are deliberate,
+    removals are breaking.  Update this snapshot when the API changes
+    on purpose."""
+
+    SNAPSHOT = frozenset(
+        {
+            # simulator
+            "simulate", "CoreSimulator", "MachineParams", "SimStats",
+            "Program", "BlockInfo", "BlockTrace",
+            # workloads
+            "APP_NAMES", "get_app", "build_app", "AppSpec", "synthesize",
+            # profiling
+            "profile_execution", "ExecutionProfile",
+            # core
+            "ISpy", "ISpyConfig", "build_ispy_plan", "PrefetchPlan",
+            "PrefetchInstr",
+            # baselines
+            "build_asmdb_plan", "simulate_ideal", "simulate_nextline",
+            # analysis
+            "Evaluator", "ExperimentSettings", "render_table",
+            # run configuration & observability
+            "RunConfig", "Tracer", "RunManifest", "PerfRegistry",
+        }
+    )
+
+    def test_all_matches_snapshot(self):
+        assert set(repro.__all__) == self.SNAPSHOT | {"__version__"}
+
+    def test_all_is_sorted_and_unique(self):
+        names = [n for n in repro.__all__ if n != "__version__"]
+        assert names == sorted(names)
+        assert len(repro.__all__) == len(set(repro.__all__))
+
 
 class TestDocstringQuickstartShape:
     def test_quickstart_flow_works(self):

@@ -1,5 +1,7 @@
 """CLI tests (fast scales)."""
 
+import re
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -21,9 +23,39 @@ class TestParser:
         expected = {
             "table1", "fig01", "fig03", "fig04", "fig05", "fig10",
             "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "fig18", "fig19", "fig21",
+            "fig17", "fig18", "fig19", "fig20", "fig21",
         }
         assert expected <= set(FIGURES)
+
+    def test_every_experiment_figure_function_is_registered(self):
+        """No fig*/table* experiment function may be missing from FIGURES.
+
+        This is the regression the fig20 omission slipped through: a
+        new figure function landed in experiments.py but never became
+        reachable from the CLI.
+        """
+        from repro.analysis import experiments as exp
+
+        pattern = re.compile(r"^(fig\d+|table\d+)_\w+$")
+        expected = {
+            match.group(1)
+            for name in vars(exp)
+            if callable(getattr(exp, name))
+            for match in [pattern.match(name)]
+            if match is not None
+        }
+        assert expected, "experiment-function scan found nothing"
+        missing = expected - set(FIGURES)
+        assert not missing, (
+            f"experiment functions not registered in cli.FIGURES: "
+            f"{sorted(missing)}"
+        )
+
+    def test_figures_map_to_matching_functions(self):
+        for key, function in FIGURES.items():
+            assert function.__name__.startswith(key + "_"), (
+                f"FIGURES[{key!r}] points at {function.__name__}"
+            )
 
 
 class TestCommands:
@@ -63,6 +95,13 @@ class TestCommands:
     def test_figure_unknown(self, capsys):
         assert main(["figure", "fig99"]) == 2
 
+    def test_figure_fig20_renders_summary_mapping(self, capsys):
+        """fig20 returns a dict, exercising the metric/value rendering."""
+        assert main(["figure", "fig20"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "fraction_below_4_lines" in out
+        assert "distance_distribution" in out
+
     def test_module_entry_point(self):
         import subprocess
         import sys
@@ -74,3 +113,60 @@ class TestCommands:
         )
         assert result.returncode == 0
         assert "wordpress" in result.stdout
+
+
+class TestTelemetryFlags:
+    def test_evaluate_with_trace_and_manifest_across_workers(
+        self, tmp_path, capsys
+    ):
+        """The headline acceptance path: --jobs 2 --trace --manifest.
+
+        The trace must contain spans from the parent *and* the worker
+        processes (distinct tids after re-parenting), and the manifest
+        must pass schema validation.
+        """
+        from repro.obs.manifest import RunManifest
+        from repro.obs.trace import read_trace, set_tracer
+
+        trace_path = tmp_path / "t.jsonl"
+        manifest_path = tmp_path / "m.json"
+        try:
+            assert main(
+                ["evaluate", "finagle-chirper", *FAST, "--jobs", "2",
+                 "--trace", str(trace_path), "--manifest", str(manifest_path)]
+            ) == 0
+        finally:
+            set_tracer(None)
+
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "manifest written to" in out
+
+        events = read_trace(trace_path)
+        spans = [e for e in events if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert "run:evaluate" in names          # parent root span
+        assert "job:evaluate-variant" in names  # shipped back from workers
+        assert len({e["tid"] for e in spans}) >= 2, (
+            "expected worker spans on their own timeline rows"
+        )
+
+        manifest = RunManifest.load(manifest_path)  # load() validates
+        payload = manifest.payload
+        assert payload["command"] == "evaluate"
+        assert payload["jobs"] == 2
+        assert "finagle-chirper" in payload["apps"]
+        assert payload["trace_path"] == str(trace_path)
+
+    def test_timing_flag_prints_report(self, capsys):
+        from repro.obs.trace import set_tracer
+
+        try:
+            assert main(
+                ["evaluate", "finagle-chirper", *FAST, "--timing"]
+            ) == 0
+        finally:
+            set_tracer(None)
+        out = capsys.readouterr().out
+        assert "simulate" in out
+        assert "total" in out

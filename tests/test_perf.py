@@ -77,6 +77,49 @@ class TestSnapshotMerge:
         reg.reset()
         assert reg.calls("x") == 0
 
+    def test_merge_disjoint_snapshots(self):
+        parent = PerfRegistry()
+        parent.add("profile", seconds=1.0, units=5)
+        worker = PerfRegistry()
+        worker.add("simulate", seconds=2.0, units=20)
+        parent.merge(worker.snapshot())
+        assert parent.calls("profile") == 1
+        assert parent.calls("simulate") == 1
+        assert parent.seconds("simulate") == 2.0
+        assert set(parent.snapshot()) == {"profile", "simulate"}
+
+    def test_merge_empty_snapshot_is_noop(self):
+        reg = PerfRegistry()
+        reg.count("x")
+        reg.merge(PerfRegistry().snapshot())
+        assert reg.calls("x") == 1
+        assert set(reg.snapshot()) == {"x"}
+
+
+class TestBackendCounts:
+    def test_counts_by_backend_suffix(self):
+        reg = PerfRegistry()
+        reg.count("simulate:columnar")
+        reg.count("simulate:columnar")
+        reg.count("simulate:reference")
+        reg.count("simulate")  # the stage timer itself is not a backend
+        assert reg.backend_counts() == {"columnar": 2, "reference": 1}
+
+    def test_bare_prefix_counter_excluded(self):
+        reg = PerfRegistry()
+        reg.count("simulate:")  # pathological: prefix with empty suffix
+        reg.count("simulate:columnar")
+        assert reg.backend_counts() == {"columnar": 1}
+
+    def test_empty_registry(self):
+        assert PerfRegistry().backend_counts() == {}
+
+    def test_custom_prefix(self):
+        reg = PerfRegistry()
+        reg.count("store-hit:stats")
+        reg.count("simulate:columnar")
+        assert reg.backend_counts(prefix="store-hit:") == {"stats": 1}
+
 
 class TestReport:
     def test_report_lists_stages_and_total(self):
