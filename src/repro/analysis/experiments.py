@@ -92,12 +92,20 @@ class AppEvaluation:
         store: Optional[ArtifactStore] = None,
         perf: Optional[perf_mod.PerfRegistry] = None,
         tracer=None,
+        shard_insns: Optional[int] = None,
     ):
         self.name = name
         self.settings = settings
         self.store = store
         self.perf = perf_mod.registry(perf)
         self.tracer = tracer if tracer is not None else trace_mod.get_tracer()
+        #: stream replays in shards of this many retired instructions
+        #: (None = whole-trace).  Purely an execution knob — sharded
+        #: results are bit-identical, so it is deliberately absent
+        #: from every stats/profile cache key; only the resume
+        #: checkpoints key on it (a checkpoint is only valid for the
+        #: exact shard geometry that wrote it).
+        self.shard_insns = shard_insns
         self._app: Optional[SyntheticApp] = None
         self._profile: Optional[ExecutionProfile] = None
         self._eval_trace: Optional[BlockTrace] = None
@@ -143,7 +151,10 @@ class AppEvaluation:
             trace = app.trace(self.settings.profile_length)
             with self.perf.stage("profile", units=len(trace)):
                 self._profile = profile_execution(
-                    app.program, trace, data_traffic=app.data_traffic()
+                    app.program,
+                    trace,
+                    data_traffic=app.data_traffic(),
+                    shard_insns=self.shard_insns,
                 )
             if store is not None:
                 store.save_profile(key, self._profile)
@@ -223,6 +234,18 @@ class AppEvaluation:
         if self.store is not None:
             self.store.save_stats(key, stats)
 
+    def _checkpointer(self, stats_key: str):
+        """A per-shard resume checkpointer for one replay, when both a
+        store and a shard budget are configured."""
+        if self.store is None or self.shard_insns is None:
+            return None
+        from ..sim.streaming import StoreCheckpointer
+
+        return StoreCheckpointer(
+            self.store,
+            {"stats_key": stats_key, "shard_insns": self.shard_insns},
+        )
+
     def run_plan(
         self,
         plan: Optional[PrefetchPlan],
@@ -251,7 +274,12 @@ class AppEvaluation:
                 track_exact_context=track_exact_context,
                 data_traffic=self._eval_data_traffic(),
             )
-            stats = core.run(replay, warmup=self.settings.warmup)
+            stats = core.run(
+                replay,
+                warmup=self.settings.warmup,
+                shard_insns=self.shard_insns,
+                checkpointer=self._checkpointer(key),
+            )
             span.set(backend=core.last_replay_backend)
         self.perf.count(
             f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
@@ -281,7 +309,12 @@ class AppEvaluation:
             )
         ) as span:
             core = CoreSimulator(self.app.program, ideal=True)
-            stats = core.run(replay, warmup=self.settings.warmup)
+            stats = core.run(
+                replay,
+                warmup=self.settings.warmup,
+                shard_insns=self.shard_insns,
+                checkpointer=self._checkpointer(key),
+            )
             span.set(backend=core.last_replay_backend)
         self.perf.count(
             f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
@@ -567,6 +600,7 @@ class Evaluator:
             store = ArtifactStore(store)
         self.store: Optional[ArtifactStore] = store
         self.jobs = config.jobs
+        self.shard_insns: Optional[int] = getattr(config, "shard_insns", None)
         self.perf = perf_mod.registry(config.perf)
         # the config's tracer when it has one, else whatever tracer is
         # installed process-wide (the null tracer when tracing is off)
@@ -586,6 +620,7 @@ class Evaluator:
                 store=self.store,
                 perf=self.perf,
                 tracer=self.tracer,
+                shard_insns=self.shard_insns,
             )
         return self._apps[name]
 

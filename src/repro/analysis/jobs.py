@@ -38,7 +38,10 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def _worker_evaluator(
-    settings: "ExperimentSettings", store_root: str, tracing: bool = False
+    settings: "ExperimentSettings",
+    store_root: str,
+    tracing: bool = False,
+    shard_insns: Optional[int] = None,
 ):
     from .. import perf as perf_mod
     from ..obs.trace import NULL_TRACER, Tracer, set_tracer
@@ -52,15 +55,20 @@ def _worker_evaluator(
         store=store_root,
         perf=perf_mod.PerfRegistry(),
         tracer=tracer,
+        shard_insns=shard_insns,
     )
     return Evaluator(config=config)
 
 
 def prepare_app(
-    name: str, settings: "ExperimentSettings", store_root: str, tracing: bool = False
+    name: str,
+    settings: "ExperimentSettings",
+    store_root: str,
+    tracing: bool = False,
+    shard_insns: Optional[int] = None,
 ) -> Tuple[str, Dict[str, tuple], List[dict]]:
     """Phase-1 job: persist one app's profile and default plans."""
-    evaluator = _worker_evaluator(settings, store_root, tracing)
+    evaluator = _worker_evaluator(settings, store_root, tracing, shard_insns)
     with evaluator.tracer.span("job:prepare-app", app=name):
         evaluation = evaluator[name]
         evaluation.profile
@@ -75,9 +83,16 @@ def evaluate_variant(
     settings: "ExperimentSettings",
     store_root: str,
     tracing: bool = False,
+    shard_insns: Optional[int] = None,
 ) -> Tuple[str, str, "SimStats", Dict[str, tuple], List[dict]]:
-    """Phase-2 job: simulate one (app, variant) pair."""
-    evaluator = _worker_evaluator(settings, store_root, tracing)
+    """Phase-2 job: simulate one (app, variant) pair.
+
+    Workers inherit the parent's shard budget: each replay streams its
+    trace shard by shard and checkpoints into the shared store, so a
+    killed prewarm re-invoked with the same configuration resumes
+    every in-flight simulation from its last completed shard.
+    """
+    evaluator = _worker_evaluator(settings, store_root, tracing, shard_insns)
     with evaluator.tracer.span("job:evaluate-variant", app=name, variant=variant):
         stats = evaluator[name].stats_for(variant)
     return name, variant, stats, evaluator.perf.snapshot(), evaluator.tracer.snapshot()
@@ -100,10 +115,14 @@ def run_prewarm_jobs(
     perf = evaluator.perf
     tracer = evaluator.tracer
     tracing = tracer.enabled
+    shard_insns = evaluator.shard_insns
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         with tracer.span("prewarm:prepare", apps=len(names)):
             prepared = [
-                pool.submit(prepare_app, name, settings, store_root, tracing)
+                pool.submit(
+                    prepare_app, name, settings, store_root, tracing,
+                    shard_insns,
+                )
                 for name in names
             ]
             for future in prepared:
@@ -115,7 +134,8 @@ def run_prewarm_jobs(
         ):
             simulated = [
                 pool.submit(
-                    evaluate_variant, name, variant, settings, store_root, tracing
+                    evaluate_variant, name, variant, settings, store_root,
+                    tracing, shard_insns,
                 )
                 for name in names
                 for variant in variants

@@ -26,6 +26,9 @@ Examples
     python -m repro evaluate wordpress --trace t.jsonl --manifest m.json
     python -m repro figure fig11 --scale 0.6
     python -m repro plan kafka --prefetcher asmdb
+    # stream replays in 20k-instruction shards; with a cache directory,
+    # a killed run resumes from the last completed shard when re-run
+    python -m repro evaluate wordpress --shard-insns 20000 --cache .repro-cache
 """
 
 from __future__ import annotations

@@ -343,7 +343,7 @@ class ArtifactStore:
     def __init__(self, root: PathLike):
         self.root = Path(root)
         self.base = self.root / f"v{CACHE_SCHEMA_VERSION}"
-        for sub in ("profiles", "plans", "stats"):
+        for sub in ("profiles", "plans", "stats", "shards"):
             (self.base / sub).mkdir(parents=True, exist_ok=True)
         # per-kind lookup accounting; the run manifest reports these as
         # the store's hit rate (a worker process counts its own store
@@ -358,7 +358,7 @@ class ArtifactStore:
     # -- internals ----------------------------------------------------
 
     def _path(self, kind: str, key: str) -> Path:
-        suffix = ".json.gz" if kind == "profiles" else ".json"
+        suffix = ".json.gz" if kind in ("profiles", "shards") else ".json"
         return self.base / kind / f"{key}{suffix}"
 
     @staticmethod
@@ -458,3 +458,26 @@ class ArtifactStore:
             stats = None
         self._record("stats", stats is not None)
         return stats
+
+    # -- per-shard replay checkpoints ----------------------------------
+
+    def save_shard_state(self, key: str, payload: dict) -> None:
+        """Persist one replay checkpoint (see repro.sim.streaming).
+
+        Checkpoints are opaque gzipped JSON to the store; validation
+        of their format/version happens at the replay layer.
+        """
+        data = gzip.compress(json.dumps(payload).encode())
+        self._write_atomic(self._path("shards", key), data)
+
+    def load_shard_state(self, key: str) -> Optional[dict]:
+        payload = self._read_json(self._path("shards", key), compressed=True)
+        self._record("shards", payload is not None)
+        return payload
+
+    def delete_shard_state(self, key: str) -> None:
+        """Drop a checkpoint (resume pruning after a completed run)."""
+        try:
+            os.unlink(self._path("shards", key))
+        except OSError:
+            pass

@@ -51,6 +51,7 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "scale": (int, float),
     },
     "jobs": int,
+    "shard_insns": (int, type(None)),  # trace shard budget, None = whole-trace
     "kernel": {
         "numpy_available": bool,
         "numpy_enabled": bool,
@@ -236,6 +237,7 @@ class RunManifest:
             "command": command,
             "settings": dataclasses.asdict(evaluator.settings),
             "jobs": evaluator.jobs,
+            "shard_insns": getattr(evaluator, "shard_insns", None),
             "kernel": {
                 "numpy_available": kernel.HAVE_NUMPY,
                 "numpy_enabled": kernel.numpy_enabled(),

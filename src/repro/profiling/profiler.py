@@ -244,23 +244,40 @@ def profile_execution(
     machine: Optional[MachineParams] = None,
     sample_period: int = 1,
     data_traffic=None,
+    shard_insns: Optional[int] = None,
 ) -> ExecutionProfile:
-    """Profile one execution of *trace* (no prefetching active)."""
-    from ..obs.trace import get_tracer
+    """Profile one execution of *trace* (no prefetching active).
 
+    With ``shard_insns`` (or a :class:`~repro.sim.trace.ShardedTrace`)
+    the profiling replay streams shard by shard — the recorded profile
+    is bit-identical either way.  The profile itself is whole-trace
+    (per-position cycles and samples), so a sharded *trace* is
+    materialized for the output lists while the replay stays chunked.
+    """
+    from ..obs.trace import get_tracer
+    from ..sim.trace import ShardedTrace
+
+    if isinstance(trace, ShardedTrace):
+        if shard_insns is None:
+            shard_insns = trace.shard_insns
+        trace = trace.materialize()
     columnar = kernel.numpy_enabled()
-    with get_tracer().span(
-        "profiling:execution",
+    span_args = dict(
         program=program.name,
         blocks=len(trace.block_ids),
         backend="columnar" if columnar else "reference",
-    ):
+    )
+    if shard_insns is not None:
+        span_args["shard_insns"] = shard_insns
+    with get_tracer().span("profiling:execution", **span_args):
         if columnar:
             return _profile_execution_columnar(
-                program, trace, machine, sample_period, data_traffic
+                program, trace, machine, sample_period, data_traffic,
+                shard_insns,
             )
         return _profile_execution_reference(
-            program, trace, machine, sample_period, data_traffic
+            program, trace, machine, sample_period, data_traffic,
+            shard_insns,
         )
 
 
@@ -270,6 +287,7 @@ def _profile_execution_reference(
     machine: Optional[MachineParams],
     sample_period: int,
     data_traffic,
+    shard_insns: Optional[int] = None,
 ) -> ExecutionProfile:
     """Observer-based profiling replay (the semantic oracle)."""
     observer = _ProfilingObserver(sample_period)
@@ -279,6 +297,7 @@ def _profile_execution_reference(
         machine=machine,
         observer=observer,
         data_traffic=data_traffic,
+        shard_insns=shard_insns,
     )
 
     edge_counts: Counter = Counter(
@@ -311,6 +330,7 @@ def _profile_execution_columnar(
     machine: Optional[MachineParams],
     sample_period: int,
     data_traffic,
+    shard_insns: Optional[int] = None,
 ) -> ExecutionProfile:
     """Array-kernel profiling: one recorded replay, no observer.
 
@@ -327,14 +347,26 @@ def _profile_execution_columnar(
 
     machine = machine or MachineParams()
     stats = SimStats()
-    events = array_replay(
-        program,
-        trace,
-        machine,
-        stats,
-        data_traffic=data_traffic,
-        record_events=True,
-    )
+    if shard_insns is not None:
+        from ..sim.streaming import stream_replay_events
+
+        events = stream_replay_events(
+            program,
+            trace,
+            machine,
+            stats,
+            data_traffic=data_traffic,
+            shard_insns=shard_insns,
+        )
+    else:
+        events = array_replay(
+            program,
+            trace,
+            machine,
+            stats,
+            data_traffic=data_traffic,
+            record_events=True,
+        )
 
     step = sample_period
     if step <= 0:

@@ -57,6 +57,12 @@ class RunConfig:
     #: columnar-kernel gate: True forces it on, False forces the
     #: reference paths, None defers to ``REPRO_NUMPY_KERNEL``/default
     numpy_kernel: Optional[bool] = None
+    #: stream evaluation traces in shards of this many retired
+    #: instructions (bounded memory, per-shard resume checkpoints when
+    #: a store is configured); None replays whole traces.  An execution
+    #: knob, not an experiment setting: results are bit-identical, so
+    #: it never enters result cache keys.
+    shard_insns: Optional[int] = None
     #: print the per-stage timing report when the run finishes
     timing: bool = False
     #: write a Chrome-trace-event JSONL of the run's spans here
@@ -98,6 +104,7 @@ class RunConfig:
             jobs=getattr(args, "jobs", 1),
             store=store,
             numpy_kernel=False if getattr(args, "no_numpy_kernel", False) else None,
+            shard_insns=getattr(args, "shard_insns", None),
             timing=getattr(args, "timing", False),
             trace_path=getattr(args, "trace", None),
             manifest_path=getattr(args, "manifest", None),
@@ -183,6 +190,13 @@ def add_run_arguments(
         "--no-numpy-kernel", action="store_true",
         help="force the pure-Python reference paths (disables the "
         "columnar NumPy kernel; results are identical either way)",
+    )
+    run.add_argument(
+        "--shard-insns", type=int, default=None, metavar="N",
+        help="stream evaluation traces in shards of N retired "
+        "instructions (bounded memory; with --cache, killed runs "
+        "resume from the last completed shard; results are "
+        "bit-identical to whole-trace replay)",
     )
 
     telemetry = parser.add_argument_group("telemetry")

@@ -71,7 +71,10 @@ class ReplayEvents:
 
 
 def _lru_stream(
-    lines: List[int], sets: List[int], ways: int
+    lines: List[int],
+    sets: List[int],
+    ways: int,
+    state: Optional[Dict[int, Dict[int, None]]] = None,
 ) -> Tuple[bytearray, bytearray, Dict[int, "OrderedDict[int, None]"]]:
     """Exact per-access LRU hit/evict outcomes for one cache level.
 
@@ -79,11 +82,15 @@ def _lru_stream(
     policy the no-plan path exercises.  Returns per-access hit and
     eviction flags plus the final per-set recency state (oldest
     first), which :func:`_materialize_cache` turns back into
-    :class:`LRUStack` contents.
+    :class:`LRUStack` contents.  Passing *state* continues a previous
+    sweep from its final residency (shard-carried replay): the first
+    access of the continuation takes the general dict path, which is
+    outcome- and state-identical to the back-to-back shortcut.
     """
     hits = bytearray(len(lines))
     evicts = bytearray(len(lines))
-    state: Dict[int, Dict[int, None]] = {}
+    if state is None:
+        state = {}
     get_set = state.get
     index = 0
     previous = -1
@@ -298,6 +305,20 @@ def _stream_cache_put(key: tuple, entry: tuple) -> None:
     _STREAM_CACHE[key] = entry
 
 
+def _decode_data_stream(data_traffic, instr_counts: List[int]):
+    """The model's per-block data lines, fast-decoded when eligible.
+
+    Advances the model exactly as per-block ``advance`` calls would —
+    including when called once per shard, since both decoders resume
+    from the model's live RNG/accumulator state.
+    """
+    if data_traffic is None:
+        return [], []
+    if _fast_data_eligible(data_traffic):
+        return _fast_data_stream(data_traffic, instr_counts)
+    return _record_data_stream(data_traffic, instr_counts)
+
+
 def _materialize_cache(cache, state, hit_count, miss_count, evict_count) -> None:
     """Install final residency + post-warmup counters into *cache*."""
     cache._sets.clear()
@@ -340,37 +361,75 @@ def ideal_replay(
     return stats
 
 
-def array_replay(
-    program: Program,
-    trace: BlockTrace,
+class ArrayCarry:
+    """Cross-shard state for the no-plan columnar replay.
+
+    Holds everything the next shard's replay depends on: per-level LRU
+    residency, the float time/fill-port/stall accumulators, and the
+    running counters.  Counters follow the reference loop's convention
+    — values since the last warmup reset — so a carry snapshot at any
+    shard boundary is exactly the state the reference loop would hold
+    at that trace position, and replaying shard-by-shard is
+    bit-identical to replaying the whole trace at once.
+    """
+
+    __slots__ = (
+        "l1_state", "l2_state", "l3_state",
+        "now", "busy", "frontend_stalls",
+        "l1_dh", "l1_dm", "l1_ev",
+        "l2_dh", "l2_dm", "l2_ev",
+        "l3_dh", "l3_dm", "l3_ev",
+        "l1i_accesses", "l1i_misses", "program_instructions",
+        "miss_level_counts",
+    )
+
+    def __init__(self):
+        self.l1_state: Dict[int, Dict[int, None]] = {}
+        self.l2_state: Dict[int, Dict[int, None]] = {}
+        self.l3_state: Dict[int, Dict[int, None]] = {}
+        self.now = 0.0
+        self.busy = 0.0
+        self.frontend_stalls = 0.0
+        self.l1_dh = self.l1_dm = self.l1_ev = 0
+        self.l2_dh = self.l2_dm = self.l2_ev = 0
+        self.l3_dh = self.l3_dm = self.l3_ev = 0
+        self.l1i_accesses = 0
+        self.l1i_misses = 0
+        self.program_instructions = 0
+        self.miss_level_counts: Dict[str, int] = {}
+
+
+def array_shard_replay(
+    view,
+    rows: np.ndarray,
     machine: MachineParams,
-    stats: SimStats,
+    carry: ArrayCarry,
     data_traffic=None,
-    warmup: int = 0,
-    hierarchy: Optional[MemoryHierarchy] = None,
+    offset: int = 0,
+    eff: int = 0,
     record_events: bool = False,
 ) -> Optional[ReplayEvents]:
-    """Replay *trace* with no prefetch plan; populate *stats* exactly.
+    """Replay one shard (trace rows at global positions ``offset ..
+    offset+len(rows)``) of the no-plan columnar path, continuing from
+    and updating *carry*.
 
-    When *hierarchy* is given its caches, cache statistics and fill
-    port are left in the identical final state the reference loop
-    would produce.  With ``record_events`` the per-block cycles and
-    per-miss events (the observer view) are returned for the profiler.
+    *eff* is the global warmup-reset index (0 when no reset fires).
+    When the boundary falls inside this shard, counters restart from
+    the local boundary exactly as the reference loop's mid-run reset
+    does; otherwise this shard's counts accumulate onto the carry.
+    With ``record_events`` the per-shard observer view is returned,
+    with ``miss_trace_index`` already global.
     """
-    view = columnar_view(program)
-    rows = view.trace_rows(trace)
-    length = len(rows)
-    # The reference clears counters when `index == warmup`; a boundary
-    # outside the trace never fires, so statistics then cover the run.
-    eff = warmup if 0 < warmup < length else 0
+    n_local = len(rows)
+    reset_local = eff - offset if offset <= eff < offset + n_local else None
     cpi = 1.0 / machine.base_ipc
 
     # -- L1I access stream (CSR gather of each block's lines) ----------
     counts_pe = view.line_counts[rows]
-    cum_pe = np.zeros(length + 1, dtype=np.int64)
+    cum_pe = np.zeros(n_local + 1, dtype=np.int64)
     np.cumsum(counts_pe, out=cum_pe[1:])
     total_accesses = int(cum_pe[-1])
-    block_of_access = np.repeat(np.arange(length, dtype=np.int64), counts_pe)
+    block_of_access = np.repeat(np.arange(n_local, dtype=np.int64), counts_pe)
     gather = (
         np.repeat(view.line_starts[rows] - cum_pe[:-1], counts_pe)
         + np.arange(total_accesses, dtype=np.int64)
@@ -378,8 +437,11 @@ def array_replay(
     l1_lines = view.line_data[gather]
 
     l1_geom = machine.l1i
-    l1_hits_b, l1_evicts_b, l1_state = _lru_stream(
-        l1_lines.tolist(), (l1_lines % l1_geom.num_sets).tolist(), l1_geom.ways
+    l1_hits_b, l1_evicts_b, _ = _lru_stream(
+        l1_lines.tolist(),
+        (l1_lines % l1_geom.num_sets).tolist(),
+        l1_geom.ways,
+        carry.l1_state,
     )
     l1_hits = _flags(l1_hits_b)
 
@@ -389,24 +451,15 @@ def array_replay(
     n_miss = len(miss_pos)
 
     # -- data-traffic stream (exact model replay, per retired block) ---
-    data_lines_py: List[int] = []
-    data_counts_py: List[int] = []
-    if data_traffic is not None:
-        instr_counts = view.instruction_counts[rows].tolist()
-        if _fast_data_eligible(data_traffic):
-            data_lines_py, data_counts_py = _fast_data_stream(
-                data_traffic, instr_counts
-            )
-        else:
-            data_lines_py, data_counts_py = _record_data_stream(
-                data_traffic, instr_counts
-            )
+    data_lines_py, data_counts_py = _decode_data_stream(
+        data_traffic, view.instruction_counts[rows].tolist()
+    )
 
     # -- L2 stream: per block, instruction misses then data lines ------
     if data_lines_py:
         data_lines = np.asarray(data_lines_py, dtype=np.int64)
         data_blocks = np.repeat(
-            np.arange(length, dtype=np.int64),
+            np.arange(n_local, dtype=np.int64),
             np.asarray(data_counts_py, dtype=np.int64),
         )
         merge_key = np.concatenate([miss_blocks * 2, data_blocks * 2 + 1])
@@ -421,8 +474,11 @@ def array_replay(
         l2_is_instr = np.ones(n_miss, dtype=bool)
 
     l2_geom = machine.l2
-    l2_hits_b, l2_evicts_b, l2_state = _lru_stream(
-        l2_lines.tolist(), (l2_lines % l2_geom.num_sets).tolist(), l2_geom.ways
+    l2_hits_b, l2_evicts_b, _ = _lru_stream(
+        l2_lines.tolist(),
+        (l2_lines % l2_geom.num_sets).tolist(),
+        l2_geom.ways,
+        carry.l2_state,
     )
     l2_hits = _flags(l2_hits_b)
 
@@ -432,8 +488,11 @@ def array_replay(
     l3_blocks = l2_blocks[l3_sel]
     l3_is_instr = l2_is_instr[l3_sel]
     l3_geom = machine.l3
-    l3_hits_b, l3_evicts_b, l3_state = _lru_stream(
-        l3_lines.tolist(), (l3_lines % l3_geom.num_sets).tolist(), l3_geom.ways
+    l3_hits_b, l3_evicts_b, _ = _lru_stream(
+        l3_lines.tolist(),
+        (l3_lines % l3_geom.num_sets).tolist(),
+        l3_geom.ways,
+        carry.l3_state,
     )
     l3_hits = _flags(l3_hits_b)
 
@@ -462,12 +521,20 @@ def array_replay(
     )
     mb_list = miss_blocks.tolist()
     lev_list = lev.tolist()
-    block_cycles = np.empty(length, dtype=np.float64) if record_events else None
+    block_cycles = np.empty(n_local, dtype=np.float64) if record_events else None
     miss_cycles = [0.0] * n_miss if record_events else None
 
-    now = 0.0
-    busy = 0.0
-    frontend_stalls = 0.0
+    now = carry.now
+    busy = carry.busy
+    # Stalls before the reset boundary are discarded by the reset, so
+    # the reset shard restarts the float accumulator from 0.0 — the
+    # exact value the reference holds right after clearing.
+    if reset_local is None:
+        frontend_stalls = carry.frontend_stalls
+        count_from = 0
+    else:
+        frontend_stalls = 0.0
+        count_from = reset_local
     segment = 0
     i = 0
     while i < n_miss:
@@ -493,75 +560,160 @@ def array_replay(
             if record_events:
                 miss_cycles[i] = now + stall
             i += 1
-        if block >= eff:
+        if block >= count_from:
             frontend_stalls += stall
         now += stall
         now += float(incr[block])
         segment = block + 1
-    if record_events and segment < length:
-        buffer = np.empty(length - segment + 1, dtype=np.float64)
+    if segment < n_local:
+        # Advance through the trailing miss-free blocks so the next
+        # shard resumes at the exact whole-trace `now`.  Splitting one
+        # add.accumulate at a shard boundary preserves the fold order,
+        # so the value is bit-identical.
+        buffer = np.empty(n_local - segment + 1, dtype=np.float64)
         buffer[0] = now
-        buffer[1:] = incr[segment:length]
+        buffer[1:] = incr[segment:n_local]
         np.add.accumulate(buffer, out=buffer)
-        block_cycles[segment:length] = buffer[:-1]
+        if record_events:
+            block_cycles[segment:n_local] = buffer[:-1]
+        now = float(buffer[-1])
+    carry.now = now
+    carry.busy = busy
+    carry.frontend_stalls = frontend_stalls
 
-    # -- counters (post-warmup, like the boundary-reset reference) -----
-    post_miss = miss_blocks >= eff
-    stats.clear()
-    stats.l1i_accesses = int(counts_pe[eff:].sum())
-    stats.l1i_misses = int(post_miss.sum())
-    stats.frontend_stall_cycles = frontend_stalls
-    program_instructions = int(view.instruction_counts[rows[eff:]].sum())
-    stats.program_instructions = program_instructions
-    stats.compute_cycles = program_instructions * cpi
-    miss_level_counts: Dict[str, int] = {}
-    for block, level in zip(mb_list, lev_list):
-        if block >= eff:
+    # -- counters (reference semantics: values since the last reset) ---
+    if reset_local is None:
+        l1_hit_count = int(l1_hits.sum())
+        carry.l1_dh += l1_hit_count
+        carry.l1_dm += total_accesses - l1_hit_count
+        carry.l1_ev += int(_flags(l1_evicts_b).sum())
+        carry.l1i_accesses += total_accesses
+        carry.l1i_misses += n_miss
+        carry.program_instructions += int(view.instruction_counts[rows].sum())
+        levels = carry.miss_level_counts
+        for level in lev_list:
             name = _LEVEL_NAMES[level]
-            miss_level_counts[name] = miss_level_counts.get(name, 0) + 1
-    stats.miss_level_counts = miss_level_counts
-
-    if hierarchy is not None:
-        first_access = int(cum_pe[eff])
+            levels[name] = levels.get(name, 0) + 1
+        l2_from = 0
+        l3_from = 0
+    else:
+        first_access = int(cum_pe[reset_local])
         l1_post_hits = int(l1_hits[first_access:].sum())
-        _materialize_cache(
-            hierarchy.l1i,
-            l1_state,
-            l1_post_hits,
-            (total_accesses - first_access) - l1_post_hits,
-            int(_flags(l1_evicts_b)[first_access:].sum()),
+        carry.l1_dh = l1_post_hits
+        carry.l1_dm = (total_accesses - first_access) - l1_post_hits
+        carry.l1_ev = int(_flags(l1_evicts_b)[first_access:].sum())
+        carry.l1i_accesses = int(counts_pe[reset_local:].sum())
+        carry.l1i_misses = int((miss_blocks >= reset_local).sum())
+        carry.program_instructions = int(
+            view.instruction_counts[rows[reset_local:]].sum()
         )
-        l2_from = int(np.searchsorted(l2_blocks, eff, side="left"))
-        l2_post_hits = int(l2_hits[l2_from:].sum())
-        _materialize_cache(
-            hierarchy.l2,
-            l2_state,
-            l2_post_hits,
-            (len(l2_lines) - l2_from) - l2_post_hits,
-            int(_flags(l2_evicts_b)[l2_from:].sum()),
-        )
-        l3_from = int(np.searchsorted(l3_blocks, eff, side="left"))
-        l3_post_hits = int(l3_hits[l3_from:].sum())
-        _materialize_cache(
-            hierarchy.l3,
-            l3_state,
-            l3_post_hits,
-            (len(l3_lines) - l3_from) - l3_post_hits,
-            int(_flags(l3_evicts_b)[l3_from:].sum()),
-        )
-        hierarchy.fill_port.busy_until = busy
-        # Reference parity: prefetch-hit bookkeeping feeds this field.
-        stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
+        levels = {}
+        for block, level in zip(mb_list, lev_list):
+            if block >= reset_local:
+                name = _LEVEL_NAMES[level]
+                levels[name] = levels.get(name, 0) + 1
+        carry.miss_level_counts = levels
+        l2_from = int(np.searchsorted(l2_blocks, reset_local, side="left"))
+        l3_from = int(np.searchsorted(l3_blocks, reset_local, side="left"))
+
+    l2_post_hits = int(l2_hits[l2_from:].sum())
+    l2_dh = l2_post_hits
+    l2_dm = (len(l2_lines) - l2_from) - l2_post_hits
+    l2_ev = int(_flags(l2_evicts_b)[l2_from:].sum())
+    l3_post_hits = int(l3_hits[l3_from:].sum())
+    l3_dh = l3_post_hits
+    l3_dm = (len(l3_lines) - l3_from) - l3_post_hits
+    l3_ev = int(_flags(l3_evicts_b)[l3_from:].sum())
+    if reset_local is None:
+        carry.l2_dh += l2_dh
+        carry.l2_dm += l2_dm
+        carry.l2_ev += l2_ev
+        carry.l3_dh += l3_dh
+        carry.l3_dm += l3_dm
+        carry.l3_ev += l3_ev
+    else:
+        carry.l2_dh, carry.l2_dm, carry.l2_ev = l2_dh, l2_dm, l2_ev
+        carry.l3_dh, carry.l3_dm, carry.l3_ev = l3_dh, l3_dm, l3_ev
 
     if not record_events:
         return None
     return ReplayEvents(
         block_cycles=block_cycles,
-        miss_trace_index=miss_blocks,
+        miss_trace_index=miss_blocks + offset if offset else miss_blocks,
         miss_block_ids=view.block_ids[rows[miss_blocks]],
         miss_lines=miss_lines,
         miss_cycles=np.asarray(miss_cycles, dtype=np.float64),
     )
+
+
+def array_finish(
+    carry: ArrayCarry,
+    machine: MachineParams,
+    stats: SimStats,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> None:
+    """Populate *stats* (and *hierarchy*) from a completed carry."""
+    cpi = 1.0 / machine.base_ipc
+    stats.clear()
+    stats.l1i_accesses = carry.l1i_accesses
+    stats.l1i_misses = carry.l1i_misses
+    stats.frontend_stall_cycles = carry.frontend_stalls
+    stats.program_instructions = carry.program_instructions
+    stats.compute_cycles = carry.program_instructions * cpi
+    stats.miss_level_counts = dict(carry.miss_level_counts)
+
+    if hierarchy is not None:
+        _materialize_cache(
+            hierarchy.l1i, carry.l1_state, carry.l1_dh, carry.l1_dm,
+            carry.l1_ev,
+        )
+        _materialize_cache(
+            hierarchy.l2, carry.l2_state, carry.l2_dh, carry.l2_dm,
+            carry.l2_ev,
+        )
+        _materialize_cache(
+            hierarchy.l3, carry.l3_state, carry.l3_dh, carry.l3_dm,
+            carry.l3_ev,
+        )
+        hierarchy.fill_port.busy_until = carry.busy
+        # Reference parity: prefetch-hit bookkeeping feeds this field.
+        stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
+
+
+def array_replay(
+    program: Program,
+    trace: BlockTrace,
+    machine: MachineParams,
+    stats: SimStats,
+    data_traffic=None,
+    warmup: int = 0,
+    hierarchy: Optional[MemoryHierarchy] = None,
+    record_events: bool = False,
+) -> Optional[ReplayEvents]:
+    """Replay *trace* with no prefetch plan; populate *stats* exactly.
+
+    The whole-trace path is the single-shard case of
+    :func:`array_shard_replay` — sharded replays (``repro.sim.
+    streaming``) run the same kernel per chunk with the carry threaded
+    through, which is what keeps the two bit-identical.
+
+    When *hierarchy* is given its caches, cache statistics and fill
+    port are left in the identical final state the reference loop
+    would produce.  With ``record_events`` the per-block cycles and
+    per-miss events (the observer view) are returned for the profiler.
+    """
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    length = len(rows)
+    # The reference clears counters when `index == warmup`; a boundary
+    # outside the trace never fires, so statistics then cover the run.
+    eff = warmup if 0 < warmup < length else 0
+    carry = ArrayCarry()
+    events = array_shard_replay(
+        view, rows, machine, carry, data_traffic, 0, eff, record_events
+    )
+    array_finish(carry, machine, stats, hierarchy)
+    return events
 
 
 def _install_cache(cache, sets, pending, dh, dm, pf, ph, pu, ev) -> None:
@@ -590,71 +742,205 @@ def _install_cache(cache, sets, pending, dh, dm, pf, ph, pu, ev) -> None:
     stats.evictions = ev
 
 
-def plan_replay(
-    program: Program,
-    trace: BlockTrace,
-    machine: MachineParams,
-    stats: SimStats,
-    engine,
-    data_traffic=None,
-    warmup: int = 0,
-    hierarchy: Optional[MemoryHierarchy] = None,
-) -> bool:
-    """Columnar replay of a plan-bearing simulation; populate exactly.
+class PlanContext:
+    """Per-run immutable precompute for the plan-bearing replay.
 
-    Returns True when *stats*, the *hierarchy* and the *engine*'s
-    runtime state (in-flight map, tracker window, Fig. 21 counters)
-    have been left bit-identical to the reference
-    :class:`PrefetchEngine`/:class:`FetchEngine` composition.  Returns
-    False — **before mutating anything** — when the run is ineligible
-    (pre-seeded engine state, or a runtime-hash configuration whose
-    counters would overflow mid-replay), in which case the caller must
-    take the reference loop.
-
-    The decomposition: every *decision* that feeds the sequential core
-    loop is precomputed with arrays —
-
-    * conditional fire/suppress outcomes come from a vectorized
-      counting-Bloom model: per-block contribution vectors, prefix
-      sums, and sliding-window (LBR-depth) counter values as
-      prefix-sum differences, evaluated at each site occurrence;
-    * exact-context (Fig. 21) ground truth comes from per-block
-      occurrence arrays and ``searchsorted`` window membership;
-    * coalescing targets are compiled per site once
-      (:meth:`PrefetchPlan.compiled_sites`);
-    * the data-traffic stream is bulk-decoded from raw MT19937 words.
-
-    What remains inherently sequential — LRU state, the in-flight map,
-    fill-port serialization and half-priority prefetch insertion — runs
-    in one flat loop over plain lists/dicts/scalars that replays the
-    reference's float operations in the identical order, so equality
-    is exact, never approximate.
+    Everything here is a pure function of (program, machine, engine
+    plan/tracker configuration, hierarchy policy) — independent of the
+    trace — so sharded replays build it once and reuse it for every
+    shard.
     """
-    if not engine.is_pristine():
-        get_tracer().instant("sim:plan-fallback", reason="engine-state")
-        return False
 
-    view = columnar_view(program)
-    rows = view.trace_rows(trace)
-    n = len(rows)
-    eff = warmup if 0 < warmup < n else 0
-    cpi = 1.0 / machine.base_ipc
-    prefetch_cpi = 1.0 / machine.issue_width
-    rows_list = rows.tolist()
+    def __init__(
+        self,
+        program: Program,
+        machine: MachineParams,
+        engine,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ):
+        view = columnar_view(program)
+        self.view = view
+        self.machine = machine
+        self.cpi = 1.0 / machine.base_ipc
+        self.prefetch_cpi = 1.0 / machine.issue_width
 
-    # -- compiled site table, mapped onto program rows ------------------
-    compiled = engine.plan.compiled_sites()
-    row_by_id = dict(zip(view.block_ids.tolist(), range(view.num_blocks)))
-    site_rows = {}
-    for block_id, instrs in compiled.items():
-        row = row_by_id.get(block_id)
-        if row is not None and instrs:
-            site_rows[row] = instrs
+        # -- compiled site table, mapped onto program rows --------------
+        compiled = engine.plan.compiled_sites()
+        row_by_id = dict(zip(view.block_ids.tolist(), range(view.num_blocks)))
+        self.row_by_id = row_by_id
+        site_rows = {}
+        for block_id, instrs in compiled.items():
+            row = row_by_id.get(block_id)
+            if row is not None and instrs:
+                site_rows[row] = instrs
+        self.site_rows = site_rows
+        self.is_site = np.zeros(view.num_blocks, dtype=bool)
+        if site_rows:
+            self.is_site[list(site_rows)] = True
+        self.row_nexec = np.zeros(view.num_blocks, dtype=np.int64)
+        for row, instrs in site_rows.items():
+            self.row_nexec[row] = len(instrs)
 
+        # -- counting-Bloom static tables -------------------------------
+        self.tracker = engine.tracker
+        self.exact_hist = engine.exact_history
+        self.exact_depth = (
+            self.exact_hist.maxlen if self.exact_hist is not None else 0
+        )
+        if self.tracker is not None:
+            tracker = self.tracker
+            self.depth = tracker.depth
+            self.hash_bits = tracker.hash_bits
+            contrib_rows = np.zeros(
+                (view.num_blocks, self.hash_bits), dtype=np.int32
+            )
+            hashed_row = np.zeros(view.num_blocks, dtype=bool)
+            positions = tracker.positions
+            for block_id, row in row_by_id.items():
+                pos = positions.get(block_id)
+                if pos is not None:
+                    hashed_row[row] = True
+                    for bit in pos:
+                        contrib_rows[row, bit] += 1
+            self.contrib_rows = contrib_rows
+            self.hashed_row = hashed_row
+            self.max_single = (
+                int(contrib_rows.max()) if contrib_rows.size else 0
+            )
+        else:
+            self.depth = 0
+            self.hash_bits = 0
+            self.contrib_rows = None
+            self.hashed_row = None
+            self.max_single = 0
+
+        # -- geometry scalars and per-row tables ------------------------
+        l1_geom = machine.l1i
+        l2_geom = machine.l2
+        l3_geom = machine.l3
+        self.l1_ns = l1_geom.num_sets
+        self.l2_ns = l2_geom.num_sets
+        self.l3_ns = l3_geom.num_sets
+        self.l1_ways = l1_geom.ways
+        self.l2_ways = l2_geom.ways
+        self.l3_ways = l3_geom.ways
+        if hierarchy is not None:
+            self.pd1 = hierarchy.l1i.prefetch_insertion_depth()
+            self.pd2 = hierarchy.l2.prefetch_insertion_depth()
+            self.pd3 = hierarchy.l3.prefetch_insertion_depth()
+        else:  # pragma: no cover - CoreSimulator always passes hierarchy
+            self.pd1 = self.l1_ways // 2
+            self.pd2 = self.l2_ways // 2
+            self.pd3 = self.l3_ways // 2
+        self.pairs_list = view.line_set_pairs(self.l1_ns)
+        self.incr_row = (
+            view.instruction_counts.astype(np.float64) * self.cpi
+        ).tolist()
+        self.penalty = (
+            0.0,
+            float(machine.l2_latency),
+            float(machine.l3_latency),
+            float(machine.memory_latency),
+        )
+        self.occupancy = (
+            0.0,
+            machine.l2_fill_occupancy,
+            machine.l3_fill_occupancy,
+            machine.memory_fill_occupancy,
+        )
+
+
+class PlanCarry:
+    """Cross-shard state for the plan-bearing replay.
+
+    Flat mirrors of the reference structures (per-set recency lists,
+    residency/pending sets, the in-flight arrival map), the float
+    accumulators, the since-last-reset counters, and two id tails that
+    stand in for the sliding context windows at shard boundaries:
+
+    * ``tracker_tail`` — the last ``depth`` *hashed* retired block ids,
+      oldest first.  Prepending them as a virtual prefix reproduces the
+      counting-Bloom window (and its transient overflow peaks) for
+      every site occurrence in the next shard exactly.
+    * ``exact_tail`` — the last ``exact_depth`` retired block ids, the
+      Fig. 21 ground-truth window carried across the boundary.
+    """
+
+    __slots__ = (
+        "l1_sets", "l2_sets", "l3_sets",
+        "l1_res", "l2_res", "l3_res",
+        "l1_pend", "l2_pend", "l3_pend",
+        "inflight",
+        "now", "busy", "frontend_stalls", "late_stall",
+        "late_hits", "sim_misses", "issued", "resident",
+        "c2", "c3", "cm",
+        "l1_dh", "l1_dm", "l1_ph", "l1_pf", "l1_pu", "l1_ev",
+        "l2_dh", "l2_dm", "l2_ph", "l2_pf", "l2_pu", "l2_ev",
+        "l3_dh", "l3_dm", "l3_ph", "l3_pf", "l3_pu", "l3_ev",
+        "l1i_accesses", "program_instructions",
+        "suppressed", "executed", "tp", "fp",
+        "tracker_tail", "exact_tail",
+    )
+
+    def __init__(self, ctx: PlanContext):
+        self.l1_sets: list = [None] * ctx.l1_ns
+        self.l2_sets: list = [None] * ctx.l2_ns
+        self.l3_sets: list = [None] * ctx.l3_ns
+        self.l1_res: set = set()
+        self.l2_res: set = set()
+        self.l3_res: set = set()
+        self.l1_pend: set = set()
+        self.l2_pend: set = set()
+        self.l3_pend: set = set()
+        self.inflight: Dict[int, float] = {}
+        self.now = 0.0
+        self.busy = 0.0
+        self.frontend_stalls = 0.0
+        self.late_stall = 0.0
+        self.late_hits = 0
+        self.sim_misses = 0
+        self.issued = 0
+        self.resident = 0
+        self.c2 = self.c3 = self.cm = 0
+        self.l1_dh = self.l1_dm = self.l1_ph = 0
+        self.l1_pf = self.l1_pu = self.l1_ev = 0
+        self.l2_dh = self.l2_dm = self.l2_ph = 0
+        self.l2_pf = self.l2_pu = self.l2_ev = 0
+        self.l3_dh = self.l3_dm = self.l3_ph = 0
+        self.l3_pf = self.l3_pu = self.l3_ev = 0
+        self.l1i_accesses = 0
+        self.program_instructions = 0
+        self.suppressed = 0
+        self.executed = 0
+        self.tp = 0
+        self.fp = 0
+        self.tracker_tail: list = []
+        self.exact_tail: list = []
+
+
+def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff):
+    """Vectorized per-shard decision tables for the plan replay.
+
+    Returns ``None`` — without mutating *carry* or any external state —
+    when the shard would overflow a runtime-hash counter (the caller
+    must fall back to the reference loop, which raises at the exact
+    same push).  Otherwise returns the shard's site-plan entries and
+    counter deltas for :func:`plan_shard_replay` to apply.
+
+    The carried tails make every window computation exact: counting-
+    Bloom windows are prefix-sum differences over a virtual sequence
+    (``tracker_tail`` entries prepended to the shard), and the Fig. 21
+    membership test runs ``searchsorted`` over ``exact_tail`` + shard
+    occurrences, so both see precisely the entries the whole-trace
+    arrays would have shown them.
+    """
+    view = ctx.view
+    n_local = len(rows)
+    reset_local = eff - offset if offset <= eff < offset + n_local else None
+
+    site_rows = ctx.site_rows
     if site_rows:
-        is_site = np.zeros(view.num_blocks, dtype=bool)
-        is_site[list(site_rows)] = True
-        site_pos = np.flatnonzero(is_site[rows])
+        site_pos = np.flatnonzero(ctx.is_site[rows])
     else:
         site_pos = np.empty(0, dtype=np.int64)
 
@@ -671,67 +957,84 @@ def plan_replay(
         ):
             occ_by_row[int(chunk_rows[0])] = chunk_pos
 
-    # -- vectorized counting-Bloom runtime hash -------------------------
-    # The tracker's counters over the depth-deep FIFO of *hashed*
-    # retirements are a pure sliding-window sum of per-entry
-    # contribution vectors; prefix sums turn every window into one
-    # subtraction, and the subset test into `all(mask bits > 0)`.
-    tracker = engine.tracker
-    exact_hist = engine.exact_history
+    tracker = ctx.tracker
     tp = 0
     fp = 0
-    suppressed_total = 0
+    suppressed = 0
     fires_by_row: Dict[int, list] = {}
-    hashed_idx = np.empty(0, dtype=np.int64)
+    new_hashed: list = []
     if tracker is not None:
-        positions = tracker.positions
-        depth = tracker.depth
-        hash_bits = tracker.hash_bits
-        contrib_rows = np.zeros((view.num_blocks, hash_bits), dtype=np.int32)
-        hashed_row = np.zeros(view.num_blocks, dtype=bool)
-        for block_id, row in row_by_id.items():
-            pos = positions.get(block_id)
-            if pos is not None:
-                hashed_row[row] = True
-                for bit in pos:
-                    contrib_rows[row, bit] += 1
-        hashed_t = hashed_row[rows]
-        contrib = np.where(hashed_t[:, None], contrib_rows[rows], 0)
-        prefix = np.zeros((n + 1, hash_bits), dtype=np.int64)
-        np.cumsum(contrib, axis=0, out=prefix[1:])
-        hashed_count = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(hashed_t, out=hashed_count[1:])
-        hashed_idx = np.flatnonzero(hashed_t)
+        depth = ctx.depth
+        hash_bits = ctx.hash_bits
+        n_tail = len(carry.tracker_tail)
+        hashed_t = ctx.hashed_row[rows]
+        contrib_shard = np.where(hashed_t[:, None], ctx.contrib_rows[rows], 0)
+        if n_tail:
+            tail_rows = np.array(
+                [ctx.row_by_id[b] for b in carry.tracker_tail],
+                dtype=np.int64,
+            )
+            hashed_v = np.concatenate(
+                [np.ones(n_tail, dtype=bool), hashed_t]
+            )
+            contrib_v = np.concatenate(
+                [ctx.contrib_rows[tail_rows], contrib_shard]
+            )
+        else:
+            hashed_v = hashed_t
+            contrib_v = contrib_shard
+        n_virt = n_tail + n_local
+        prefix = np.zeros((n_virt + 1, hash_bits), dtype=np.int64)
+        np.cumsum(contrib_v, axis=0, out=prefix[1:])
+        hashed_count = np.zeros(n_virt + 1, dtype=np.int64)
+        np.cumsum(hashed_v, out=hashed_count[1:])
+        hashed_idx = np.flatnonzero(hashed_v)
+
+        hashed_local = np.flatnonzero(hashed_t)
+        new_hashed = [
+            int(b)
+            for b in view.block_ids[rows[hashed_local[-depth:]]].tolist()
+        ]
 
         # Overflow guard: the reference increments every bit of the new
         # entry *before* evicting the FIFO tail, so the transient peak
-        # is a (depth+1)-entry window.  If any peak would exceed the
-        # counter maximum, the reference raises OverflowError mid-push;
-        # bail out (pre-mutation) and let it do exactly that.
-        max_single = int(contrib_rows.max()) if contrib_rows.size else 0
-        if max_single and (depth + 1) * max_single > tracker.max_count:
-            if len(hashed_idx):
-                push_rank = hashed_count[hashed_idx + 1]
-                starts = np.zeros(len(hashed_idx), dtype=np.int64)
+        # is a (depth+1)-entry window over this shard's pushes.  A
+        # depth-entry tail covers every such window (at most depth
+        # prior entries precede an in-shard push).  If any peak would
+        # exceed the counter maximum, the reference raises
+        # OverflowError mid-push; bail out (pre-mutation) and let it
+        # do exactly that.
+        if ctx.max_single and (depth + 1) * ctx.max_single > tracker.max_count:
+            pushes = hashed_idx[hashed_idx >= n_tail]
+            if len(pushes):
+                push_rank = hashed_count[pushes + 1]
+                starts = np.zeros(len(pushes), dtype=np.int64)
                 deep = push_rank > depth + 1
                 starts[deep] = hashed_idx[push_rank[deep] - (depth + 1)]
-                peaks = prefix[hashed_idx + 1] - prefix[starts]
+                peaks = prefix[pushes + 1] - prefix[starts]
                 if int(peaks.max()) > tracker.max_count:
-                    get_tracer().instant(
-                        "sim:plan-fallback", reason="bloom-overflow"
-                    )
-                    return False
+                    return None
 
-        def window_counts(ts: np.ndarray) -> np.ndarray:
-            """Counter values visible to a site executing at each *ts*."""
-            rank = hashed_count[ts]
-            starts = np.zeros(len(ts), dtype=np.int64)
+        def window_counts(ts_v: np.ndarray) -> np.ndarray:
+            """Counter values visible to a site executing at each
+            (virtual-sequence) position."""
+            rank = hashed_count[ts_v]
+            starts = np.zeros(len(ts_v), dtype=np.int64)
             deep = rank > depth
             if deep.any():
                 starts[deep] = hashed_idx[rank[deep] - depth]
-            return prefix[ts] - prefix[starts]
+            return prefix[ts_v] - prefix[starts]
 
-        exact_depth = exact_hist.maxlen if exact_hist is not None else 0
+        exact_depth = ctx.exact_depth
+        n_ex = len(carry.exact_tail)
+        if exact_depth and n_ex:
+            ex_rows = np.array(
+                [ctx.row_by_id[b] for b in carry.exact_tail], dtype=np.int64
+            )
+            virt_rows = np.concatenate([ex_rows, rows])
+        else:
+            n_ex = 0
+            virt_rows = rows
         occ_cache: Dict[int, np.ndarray] = {}
 
         for row, instrs in site_rows.items():
@@ -740,8 +1043,11 @@ def plan_replay(
             ts = occ_by_row.get(row)
             if ts is None:
                 continue
-            window = window_counts(ts)
-            ts_post = ts >= eff
+            window = window_counts(ts + n_tail)
+            if reset_local is None:
+                ts_count = np.ones(len(ts), dtype=bool)
+            else:
+                ts_count = ts >= reset_local
             fires_list = []
             for instr in instrs:
                 mask = instr.context_mask
@@ -757,22 +1063,25 @@ def plan_replay(
                     bits = [b for b in range(hash_bits) if (mask >> b) & 1]
                     fires = (window[:, bits] > 0).all(axis=1)
                 fires_list.append(fires)
-                suppressed_total += int((~fires & ts_post).sum())
-                if exact_hist is not None and instr.context_blocks:
+                suppressed += int((~fires & ts_count).sum())
+                if ctx.exact_hist is not None and instr.context_blocks:
                     # Fig. 21 ground truth: every context block occurs
                     # in the exact last-`exact_depth` retired window.
                     present = np.ones(len(ts), dtype=bool)
                     for context_block in instr.context_blocks:
-                        crow = row_by_id.get(context_block)
+                        crow = ctx.row_by_id.get(context_block)
                         if crow is None:
                             present[:] = False
                             break
                         occ = occ_cache.get(crow)
                         if occ is None:
-                            occ = np.flatnonzero(rows == crow)
+                            occ = np.flatnonzero(virt_rows == crow)
                             occ_cache[crow] = occ
-                        lo = np.searchsorted(occ, ts - exact_depth, side="left")
-                        hi = np.searchsorted(occ, ts, side="left")
+                        ts_v = ts + n_ex
+                        lo = np.searchsorted(
+                            occ, ts_v - exact_depth, side="left"
+                        )
+                        hi = np.searchsorted(occ, ts_v, side="left")
                         present &= (hi - lo) > 0
                     tp += int((fires & present).sum())
                     fp += int((fires & ~present).sum())
@@ -781,11 +1090,12 @@ def plan_replay(
     # -- per-execution site plan ---------------------------------------
     # site_plan[t] is None for non-site executions, else a pair of
     # (per-instruction targets-or-None list, pipeline-slot cost).
-    # Conditional sites see only a handful of distinct
-    # fire/suppress combinations across all their occurrences, so the
-    # decisions pack into a per-occurrence code and every occurrence
-    # shares one prebuilt (read-only) entry list per combination.
-    site_plan: list = [None] * n
+    # Conditional sites see only a handful of distinct fire/suppress
+    # combinations across all their occurrences, so the decisions pack
+    # into a per-occurrence code and every occurrence shares one
+    # prebuilt (read-only) entry list per combination.
+    site_plan: list = [None] * n_local
+    prefetch_cpi = ctx.prefetch_cpi
     for row, instrs in site_rows.items():
         ts = occ_by_row.get(row)
         if ts is None:
@@ -821,106 +1131,123 @@ def plan_replay(
                 site_plan[t] = combos[code]
 
     if len(site_pos):
-        row_nexec = np.zeros(view.num_blocks, dtype=np.int64)
-        for row, instrs in site_rows.items():
-            row_nexec[row] = len(instrs)
-        executed_post = int(row_nexec[rows[site_pos[site_pos >= eff]]].sum())
+        sel = site_pos if reset_local is None else site_pos[
+            site_pos >= reset_local
+        ]
+        executed = int(ctx.row_nexec[rows[sel]].sum())
     else:
-        executed_post = 0
+        executed = 0
+
+    if reset_local is None:
+        l1i_accesses = int(view.line_counts[rows].sum())
+        program_instructions = int(view.instruction_counts[rows].sum())
+    else:
+        l1i_accesses = int(view.line_counts[rows[reset_local:]].sum())
+        program_instructions = int(
+            view.instruction_counts[rows[reset_local:]].sum()
+        )
+
+    return {
+        "reset_local": reset_local,
+        "site_plan": site_plan,
+        "suppressed": suppressed,
+        "executed": executed,
+        "tp": tp,
+        "fp": fp,
+        "new_hashed": new_hashed,
+        "l1i_accesses": l1i_accesses,
+        "program_instructions": program_instructions,
+    }
+
+
+def plan_shard_replay(
+    ctx: PlanContext,
+    carry: PlanCarry,
+    rows,
+    offset: int = 0,
+    eff: int = 0,
+    data_traffic=None,
+) -> bool:
+    """Replay one shard of the plan-bearing path, continuing from and
+    updating *carry*.
+
+    Returns ``False`` — before mutating the carry or the data-traffic
+    model — when a runtime-hash counter would overflow in this shard;
+    the caller must finish the remaining trace with the reference loop
+    (which raises at the same push).
+    """
+    pre = _plan_shard_precompute(ctx, carry, rows, offset, eff)
+    if pre is None:
+        return False
+
+    view = ctx.view
+    reset_local = pre["reset_local"]
+    rows_list = rows.tolist()
+    site_plan = pre["site_plan"]
 
     # -- data-traffic stream (exact model replay, per retired block) ---
     # Past this point the replay mutates external state (the traffic
     # model's RNG/accumulator), so every bail-out has already happened.
-    data_lines_py: List[int] = []
-    data_counts_py: List[int] = []
-    if data_traffic is not None:
-        instr_counts = view.instruction_counts[rows].tolist()
-        if _fast_data_eligible(data_traffic):
-            data_lines_py, data_counts_py = _fast_data_stream(
-                data_traffic, instr_counts
-            )
-        else:
-            data_lines_py, data_counts_py = _record_data_stream(
-                data_traffic, instr_counts
-            )
-
-    l1_geom = machine.l1i
-    l2_geom = machine.l2
-    l3_geom = machine.l3
-    l1_ns = l1_geom.num_sets
-    l2_ns = l2_geom.num_sets
-    l3_ns = l3_geom.num_sets
-    l1_ways = l1_geom.ways
-    l2_ways = l2_geom.ways
-    l3_ways = l3_geom.ways
-    if hierarchy is not None:
-        pd1 = hierarchy.l1i.prefetch_insertion_depth()
-        pd2 = hierarchy.l2.prefetch_insertion_depth()
-        pd3 = hierarchy.l3.prefetch_insertion_depth()
-    else:  # pragma: no cover - CoreSimulator always passes hierarchy
-        pd1 = l1_ways // 2
-        pd2 = l2_ways // 2
-        pd3 = l3_ways // 2
-
-    pairs_list = view.line_set_pairs(l1_ns)
-    incr_row = (view.instruction_counts.astype(np.float64) * cpi).tolist()
+    data_lines_py, data_counts_py = _decode_data_stream(
+        data_traffic, view.instruction_counts[rows].tolist()
+    )
     if data_lines_py:
         data_arr = np.asarray(data_lines_py, dtype=np.int64)
-        d2_list = (data_arr % l2_ns).tolist()
-        d3_list = (data_arr % l3_ns).tolist()
+        d2_list = (data_arr % ctx.l2_ns).tolist()
+        d3_list = (data_arr % ctx.l3_ns).tolist()
     else:
         d2_list = []
         d3_list = []
 
-    penalty = (
-        0.0,
-        float(machine.l2_latency),
-        float(machine.l3_latency),
-        float(machine.memory_latency),
-    )
-    occupancy = (
-        0.0,
-        machine.l2_fill_occupancy,
-        machine.l3_fill_occupancy,
-        machine.memory_fill_occupancy,
-    )
+    l1_ns = ctx.l1_ns
+    l2_ns = ctx.l2_ns
+    l3_ns = ctx.l3_ns
+    l1_ways = ctx.l1_ways
+    l2_ways = ctx.l2_ways
+    l3_ways = ctx.l3_ways
+    pd1 = ctx.pd1
+    pd2 = ctx.pd2
+    pd3 = ctx.pd3
+    pairs_list = ctx.pairs_list
+    incr_row = ctx.incr_row
+    penalty = ctx.penalty
+    occupancy = ctx.occupancy
 
     # -- the sequential core loop --------------------------------------
-    # Flat mirrors of the reference structures: per-set recency lists
-    # (MRU first — LRUStack's exact layout) in dense index-addressed
-    # tables (set indices are `line % num_sets`), pending-prefetch
-    # sets, the in-flight arrival map and scalar counters.  Probes
-    # create their set entry exactly like Cache._set_for, so final
-    # residency keys (the non-None slots) match the reference dict.
-    # Each level also keeps a whole-cache residency set (a line maps to
-    # exactly one set, so global membership equals set-local
-    # membership): misses then cost one hash lookup instead of an
-    # O(ways) recency-list scan.
-    l1_sets: list = [None] * l1_ns
-    l2_sets: list = [None] * l2_ns
-    l3_sets: list = [None] * l3_ns
-    l1_res: set = set()
-    l2_res: set = set()
-    l3_res: set = set()
-    l1_pend: set = set()
-    l2_pend: set = set()
-    l3_pend: set = set()
-    inflight: Dict[int, float] = {}
+    # Continuation of the reference structures from the carry: per-set
+    # recency lists (MRU first — LRUStack's exact layout) in dense
+    # index-addressed tables, whole-cache residency sets, pending-
+    # prefetch sets, the in-flight arrival map and scalar counters.
+    l1_sets = carry.l1_sets
+    l2_sets = carry.l2_sets
+    l3_sets = carry.l3_sets
+    l1_res = carry.l1_res
+    l2_res = carry.l2_res
+    l3_res = carry.l3_res
+    l1_pend = carry.l1_pend
+    l2_pend = carry.l2_pend
+    l3_pend = carry.l3_pend
+    inflight = carry.inflight
     inflight_pop = inflight.pop
 
-    now = 0.0
-    busy = 0.0
-    frontend_stalls = 0.0
-    late_hits = 0
-    late_stall = 0.0
-    sim_misses = 0
-    issued = 0
-    resident = 0
-    c2 = c3 = cm = 0
-    l1_dh = l1_dm = l1_ph = l1_pf = l1_pu = l1_ev = 0
-    l2_dh = l2_dm = l2_ph = l2_pf = l2_pu = l2_ev = 0
-    l3_dh = l3_dm = l3_ph = l3_pf = l3_pu = l3_ev = 0
-    boundary = eff if eff else -1
+    now = carry.now
+    busy = carry.busy
+    frontend_stalls = carry.frontend_stalls
+    late_hits = carry.late_hits
+    late_stall = carry.late_stall
+    sim_misses = carry.sim_misses
+    issued = carry.issued
+    resident = carry.resident
+    c2 = carry.c2
+    c3 = carry.c3
+    cm = carry.cm
+    l1_dh, l1_dm, l1_ph = carry.l1_dh, carry.l1_dm, carry.l1_ph
+    l1_pf, l1_pu, l1_ev = carry.l1_pf, carry.l1_pu, carry.l1_ev
+    l2_dh, l2_dm, l2_ph = carry.l2_dh, carry.l2_dm, carry.l2_ph
+    l2_pf, l2_pu, l2_ev = carry.l2_pf, carry.l2_pu, carry.l2_ev
+    l3_dh, l3_dm, l3_ph = carry.l3_dh, carry.l3_dm, carry.l3_ph
+    l3_pf, l3_pu, l3_ev = carry.l3_pf, carry.l3_pu, carry.l3_ev
+    boundary = reset_local if reset_local is not None else -1
     data_ptr = 0
     data_counts_iter = data_counts_py if data_counts_py else repeat(0)
 
@@ -1222,61 +1549,169 @@ def plan_replay(
         if gc_was_enabled:
             gc.enable()
 
-    # -- counters (post-warmup, like the boundary-reset reference) -----
+    carry.now = now
+    carry.busy = busy
+    carry.frontend_stalls = frontend_stalls
+    carry.late_hits = late_hits
+    carry.late_stall = late_stall
+    carry.sim_misses = sim_misses
+    carry.issued = issued
+    carry.resident = resident
+    carry.c2, carry.c3, carry.cm = c2, c3, cm
+    carry.l1_dh, carry.l1_dm, carry.l1_ph = l1_dh, l1_dm, l1_ph
+    carry.l1_pf, carry.l1_pu, carry.l1_ev = l1_pf, l1_pu, l1_ev
+    carry.l2_dh, carry.l2_dm, carry.l2_ph = l2_dh, l2_dm, l2_ph
+    carry.l2_pf, carry.l2_pu, carry.l2_ev = l2_pf, l2_pu, l2_ev
+    carry.l3_dh, carry.l3_dm, carry.l3_ph = l3_dh, l3_dm, l3_ph
+    carry.l3_pf, carry.l3_pu, carry.l3_ev = l3_pf, l3_pu, l3_ev
+
+    # Vectorized counters follow the same since-last-reset convention
+    # as the loop counters: the shard containing the reset replaces the
+    # carry with its post-reset counts, any other shard adds its total.
+    if reset_local is None:
+        carry.suppressed += pre["suppressed"]
+        carry.executed += pre["executed"]
+        carry.l1i_accesses += pre["l1i_accesses"]
+        carry.program_instructions += pre["program_instructions"]
+    else:
+        carry.suppressed = pre["suppressed"]
+        carry.executed = pre["executed"]
+        carry.l1i_accesses = pre["l1i_accesses"]
+        carry.program_instructions = pre["program_instructions"]
+    # Fig. 21 engine counters never reset at the warmup boundary.
+    carry.tp += pre["tp"]
+    carry.fp += pre["fp"]
+
+    if ctx.tracker is not None:
+        carry.tracker_tail = (
+            carry.tracker_tail + pre["new_hashed"]
+        )[-ctx.depth:]
+    if ctx.exact_hist is not None and ctx.exact_depth:
+        ids_tail = [
+            int(b)
+            for b in view.block_ids[rows[-ctx.exact_depth:]].tolist()
+        ]
+        carry.exact_tail = (carry.exact_tail + ids_tail)[-ctx.exact_depth:]
+    return True
+
+
+def _plan_finish(
+    ctx: PlanContext,
+    carry: PlanCarry,
+    stats: SimStats,
+    hierarchy: Optional[MemoryHierarchy],
+    engine,
+) -> None:
+    """Populate *stats*, *hierarchy* and the *engine* runtime state
+    from a completed plan carry."""
     stats.clear()
-    stats.l1i_accesses = int(view.line_counts[rows[eff:]].sum())
-    stats.l1i_misses = sim_misses
-    stats.frontend_stall_cycles = frontend_stalls
-    stats.late_prefetch_hits = late_hits
-    stats.late_prefetch_stall_cycles = late_stall
-    stats.prefetches_issued = issued
-    stats.prefetches_resident = resident
-    stats.prefetches_suppressed = suppressed_total
-    stats.prefetch_instructions_executed = executed_post
-    program_instructions = int(view.instruction_counts[rows[eff:]].sum())
-    stats.program_instructions = program_instructions
+    stats.l1i_accesses = carry.l1i_accesses
+    stats.l1i_misses = carry.sim_misses
+    stats.frontend_stall_cycles = carry.frontend_stalls
+    stats.late_prefetch_hits = carry.late_hits
+    stats.late_prefetch_stall_cycles = carry.late_stall
+    stats.prefetches_issued = carry.issued
+    stats.prefetches_resident = carry.resident
+    stats.prefetches_suppressed = carry.suppressed
+    stats.prefetch_instructions_executed = carry.executed
+    stats.program_instructions = carry.program_instructions
     stats.compute_cycles = (
-        program_instructions * cpi + executed_post * prefetch_cpi
+        carry.program_instructions * ctx.cpi
+        + carry.executed * ctx.prefetch_cpi
     )
     miss_level_counts: Dict[str, int] = {}
-    if c2:
-        miss_level_counts["l2"] = c2
-    if c3:
-        miss_level_counts["l3"] = c3
-    if cm:
-        miss_level_counts["memory"] = cm
+    if carry.c2:
+        miss_level_counts["l2"] = carry.c2
+    if carry.c3:
+        miss_level_counts["l3"] = carry.c3
+    if carry.cm:
+        miss_level_counts["memory"] = carry.cm
     stats.miss_level_counts = miss_level_counts
 
     if hierarchy is not None:
         _install_cache(
             hierarchy.l1i,
-            {i: s for i, s in enumerate(l1_sets) if s is not None},
-            l1_pend, l1_dh, l1_dm, l1_pf, l1_ph, l1_pu, l1_ev,
+            {i: s for i, s in enumerate(carry.l1_sets) if s is not None},
+            carry.l1_pend, carry.l1_dh, carry.l1_dm,
+            carry.l1_pf, carry.l1_ph, carry.l1_pu, carry.l1_ev,
         )
         _install_cache(
             hierarchy.l2,
-            {i: s for i, s in enumerate(l2_sets) if s is not None},
-            l2_pend, l2_dh, l2_dm, l2_pf, l2_ph, l2_pu, l2_ev,
+            {i: s for i, s in enumerate(carry.l2_sets) if s is not None},
+            carry.l2_pend, carry.l2_dh, carry.l2_dm,
+            carry.l2_pf, carry.l2_ph, carry.l2_pu, carry.l2_ev,
         )
         _install_cache(
             hierarchy.l3,
-            {i: s for i, s in enumerate(l3_sets) if s is not None},
-            l3_pend, l3_dh, l3_dm, l3_pf, l3_ph, l3_pu, l3_ev,
+            {i: s for i, s in enumerate(carry.l3_sets) if s is not None},
+            carry.l3_pend, carry.l3_dh, carry.l3_dm,
+            carry.l3_pf, carry.l3_ph, carry.l3_pu, carry.l3_ev,
         )
-        hierarchy.fill_port.busy_until = busy
+        hierarchy.fill_port.busy_until = carry.busy
         stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
 
-    # -- engine runtime state ------------------------------------------
-    trace_ids = trace.block_ids
-    if tracker is not None and len(hashed_idx):
-        tracker_history = [
-            int(trace_ids[i]) for i in hashed_idx[-tracker.depth :].tolist()
-        ]
-    else:
-        tracker_history = []
-    if exact_hist is not None and n:
-        exact_tail = [int(b) for b in trace_ids[-exact_hist.maxlen :]]
-    else:
-        exact_tail = []
-    engine.restore_runtime_state(inflight, tracker_history, exact_tail, tp, fp)
+    engine.restore_runtime_state(
+        dict(carry.inflight),
+        list(carry.tracker_tail),
+        list(carry.exact_tail),
+        carry.tp,
+        carry.fp,
+    )
+
+
+def plan_replay(
+    program: Program,
+    trace: BlockTrace,
+    machine: MachineParams,
+    stats: SimStats,
+    engine,
+    data_traffic=None,
+    warmup: int = 0,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> bool:
+    """Columnar replay of a plan-bearing simulation; populate exactly.
+
+    Returns True when *stats*, the *hierarchy* and the *engine*'s
+    runtime state (in-flight map, tracker window, Fig. 21 counters)
+    have been left bit-identical to the reference
+    :class:`PrefetchEngine`/:class:`FetchEngine` composition.  Returns
+    False — **before mutating anything** — when the run is ineligible
+    (pre-seeded engine state, or a runtime-hash configuration whose
+    counters would overflow mid-replay), in which case the caller must
+    take the reference loop.
+
+    The whole-trace path is the single-shard case of
+    :func:`plan_shard_replay`.  The decomposition: every *decision*
+    that feeds the sequential core loop is precomputed with arrays —
+
+    * conditional fire/suppress outcomes come from a vectorized
+      counting-Bloom model: per-block contribution vectors, prefix
+      sums, and sliding-window (LBR-depth) counter values as
+      prefix-sum differences, evaluated at each site occurrence;
+    * exact-context (Fig. 21) ground truth comes from per-block
+      occurrence arrays and ``searchsorted`` window membership;
+    * coalescing targets are compiled per site once
+      (:meth:`PrefetchPlan.compiled_sites`);
+    * the data-traffic stream is bulk-decoded from raw MT19937 words.
+
+    What remains inherently sequential — LRU state, the in-flight map,
+    fill-port serialization and half-priority prefetch insertion — runs
+    in one flat loop over plain lists/dicts/scalars that replays the
+    reference's float operations in the identical order, so equality
+    is exact, never approximate.
+    """
+    if not engine.is_pristine():
+        get_tracer().instant("sim:plan-fallback", reason="engine-state")
+        return False
+
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    n = len(rows)
+    eff = warmup if 0 < warmup < n else 0
+    ctx = PlanContext(program, machine, engine, hierarchy)
+    carry = PlanCarry(ctx)
+    if not plan_shard_replay(ctx, carry, rows, 0, eff, data_traffic):
+        get_tracer().instant("sim:plan-fallback", reason="bloom-overflow")
+        return False
+    _plan_finish(ctx, carry, stats, hierarchy, engine)
     return True

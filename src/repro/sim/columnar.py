@@ -106,6 +106,35 @@ class ColumnarProgram:
     def lines_of_row(self, row: int) -> np.ndarray:
         return self.line_data[self.line_starts[row] : self.line_starts[row + 1]]
 
+    def shard_bounds(self, rows: np.ndarray, shard_insns: int) -> list:
+        """Half-open ``(start, stop)`` trace ranges of the greedy
+        instruction-budget cut, vectorized.
+
+        Must produce exactly the same cut as the pure-Python
+        :func:`repro.sim.trace.shard_bounds` (a differential test holds
+        the two together): a shard closes at the first position whose
+        block brings the running instruction total to at least
+        ``shard_insns``.
+        """
+        if shard_insns <= 0:
+            raise ValueError(
+                f"shard_insns must be positive, got {shard_insns}"
+            )
+        cumulative = np.cumsum(self.instruction_counts[rows])
+        total = len(rows)
+        bounds = []
+        start = 0
+        base = 0
+        while start < total:
+            cut = int(np.searchsorted(cumulative, base + shard_insns, "left"))
+            if cut >= total:
+                bounds.append((start, total))
+                break
+            bounds.append((start, cut + 1))
+            base = int(cumulative[cut])
+            start = cut + 1
+        return bounds
+
     def line_set_pairs(self, num_sets: int) -> list:
         """Per-row tuples of ``(line, set_index)`` pairs for one geometry.
 

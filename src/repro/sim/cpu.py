@@ -170,6 +170,8 @@ class CoreSimulator:
         trace: BlockTrace,
         observer: Optional[TraceObserver] = None,
         warmup: int = 0,
+        shard_insns: Optional[int] = None,
+        checkpointer=None,
     ) -> SimStats:
         """Replay *trace* and return the populated statistics.
 
@@ -177,7 +179,30 @@ class CoreSimulator:
         effects but excluded from the reported statistics — the
         steady-state measurement methodology of Section V ("We record
         up to 100 million instructions executed in steady-state").
+
+        With ``shard_insns`` set (or a :class:`~repro.sim.trace.
+        ShardedTrace` passed as *trace*) the replay streams the trace
+        shard by shard — bounded memory, bit-identical statistics —
+        and an optional *checkpointer* (see :mod:`repro.sim.streaming`)
+        records per-shard state so a killed run can resume.
         """
+        from .trace import ShardedTrace
+
+        if (
+            shard_insns is not None
+            or checkpointer is not None
+            or isinstance(trace, ShardedTrace)
+        ):
+            from .streaming import run_sharded
+
+            return run_sharded(
+                self,
+                trace,
+                observer=observer,
+                warmup=warmup,
+                shard_insns=shard_insns,
+                checkpointer=checkpointer,
+            )
         with get_tracer().span(
             "sim:run",
             program=self.program.name,
@@ -199,9 +224,6 @@ class CoreSimulator:
     ) -> SimStats:
         stats = self.stats
         engine = self.engine
-        cpi = 1.0 / self.machine.base_ipc
-        prefetch_cpi = 1.0 / self.machine.issue_width
-        instr_counts = self._instr_counts
 
         # Columnar fast paths: with no observer there are no per-event
         # hooks to honour, so the replay can run on the array kernel —
@@ -260,20 +282,52 @@ class CoreSimulator:
         self.last_replay_backend = "reference"
         self.last_fallback_reason = fallback
 
+        fetch = self._make_fetch(observer)
+        warmup_boundary = warmup if warmup > 0 else -1
+        _now, program_instructions = self._reference_stream(
+            fetch, observer, trace.block_ids, 0, warmup_boundary, 0.0, 0
+        )
+        return self._reference_finish(program_instructions)
+
+    def _make_fetch(self, observer: Optional[TraceObserver]) -> FetchEngine:
         if observer is not None:
-            fetch: FetchEngine = _ObservingFetchEngine(
+            return _ObservingFetchEngine(
                 self.program,
                 self.hierarchy,
-                stats,
-                engine,
+                self.stats,
+                self.engine,
                 ideal=self.ideal,
                 observer=observer,
             )
-        else:
-            fetch = FetchEngine(
-                self.program, self.hierarchy, stats, engine, ideal=self.ideal
-            )
+        return FetchEngine(
+            self.program, self.hierarchy, self.stats, self.engine,
+            ideal=self.ideal,
+        )
 
+    def _reference_stream(
+        self,
+        fetch: FetchEngine,
+        observer: Optional[TraceObserver],
+        block_ids,
+        base_index: int,
+        warmup_boundary: int,
+        now: float,
+        program_instructions: int,
+    ):
+        """Replay a contiguous run of *block_ids* through the reference
+        composition, starting at global trace position *base_index*.
+
+        Returns the updated ``(now, program_instructions)`` pair so a
+        sharded caller (:mod:`repro.sim.streaming`) can thread them
+        through shard after shard; the whole-trace replay is the
+        single-call case.  Observer callbacks always receive global
+        trace indices.
+        """
+        stats = self.stats
+        engine = self.engine
+        cpi = 1.0 / self.machine.base_ipc
+        prefetch_cpi = 1.0 / self.machine.issue_width
+        instr_counts = self._instr_counts
         data_traffic = None if self.ideal else self.data_traffic
 
         # Hot-loop setup: resolve every per-iteration attribute lookup
@@ -299,12 +353,10 @@ class CoreSimulator:
             site_blocks = ()
             retire_block = None
         advance_data = data_traffic.advance if data_traffic is not None else None
-        warmup_boundary = warmup if warmup > 0 else -1
+        boundary = warmup_boundary - base_index
 
-        now = 0.0
-        program_instructions = 0
-        for index, block_id in enumerate(trace.block_ids):
-            if index == warmup_boundary:
+        for index, block_id in enumerate(block_ids):
+            if index == boundary:
                 # Steady state begins: drop the warmup counters but
                 # keep every piece of microarchitectural state.
                 stats.clear()
@@ -313,9 +365,9 @@ class CoreSimulator:
                 hierarchy.l3.stats.reset()
                 program_instructions = 0
             if on_block is not None:
-                on_block(index, block_id, now)
+                on_block(base_index + index, block_id, now)
                 if set_position is not None:
-                    set_position(index, block_id)
+                    set_position(base_index + index, block_id)
             if execute_site is not None and block_id in site_blocks:
                 executed = execute_site(block_id, now)
                 if executed:
@@ -331,7 +383,12 @@ class CoreSimulator:
                 retire_block(block_id)
             if advance_data is not None:
                 advance_data(count, hierarchy)
+        return now, program_instructions
 
+    def _reference_finish(self, program_instructions: int) -> SimStats:
+        stats = self.stats
+        cpi = 1.0 / self.machine.base_ipc
+        prefetch_cpi = 1.0 / self.machine.issue_width
         stats.program_instructions = program_instructions
         stats.compute_cycles = (
             program_instructions * cpi
@@ -356,6 +413,7 @@ def simulate(
     data_traffic: Optional["DataTrafficModel"] = None,
     warmup: int = 0,
     prefetch_insertion_fraction: float = 0.5,
+    shard_insns: Optional[int] = None,
 ) -> SimStats:
     """One-shot convenience wrapper around :class:`CoreSimulator`."""
     core = CoreSimulator(
@@ -369,4 +427,6 @@ def simulate(
         data_traffic=data_traffic,
         prefetch_insertion_fraction=prefetch_insertion_fraction,
     )
-    return core.run(trace, observer=observer, warmup=warmup)
+    return core.run(
+        trace, observer=observer, warmup=warmup, shard_insns=shard_insns
+    )

@@ -150,3 +150,192 @@ class BlockTrace:
     def slice(self, start: int, stop: Optional[int] = None) -> "BlockTrace":
         """A sub-trace view with the same metadata."""
         return BlockTrace(self.block_ids[start:stop], dict(self.metadata))
+
+
+# -- sharding ---------------------------------------------------------------
+#
+# A shard is a contiguous run of trace positions.  Shards are cut
+# greedily on *retired instructions*: a shard closes at the first block
+# whose inclusion brings it to at least ``shard_insns`` instructions,
+# so every shard except possibly the last carries >= shard_insns
+# instructions, every block belongs to exactly one shard, and the shard
+# boundaries depend only on the trace and the budget — never on how
+# the trace is stored.  ``repro.sim.columnar`` implements the same cut
+# vectorized; the two must (and are tested to) agree exactly.
+
+SHARD_INDEX_NAME = "index.json"
+SHARD_FORMAT = "trace-shards"
+SHARD_FORMAT_VERSION = 1
+
+
+def shard_bounds(
+    instruction_counts: Sequence[int], shard_insns: int
+) -> List[Tuple[int, int]]:
+    """Half-open ``(start, stop)`` trace ranges for the greedy cut.
+
+    *instruction_counts* is the per-trace-position retired instruction
+    count (i.e. the instruction count of the block at each position).
+    """
+    if shard_insns <= 0:
+        raise ValueError(f"shard_insns must be positive, got {shard_insns}")
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    budget = 0
+    for index, count in enumerate(instruction_counts):
+        budget += count
+        if budget >= shard_insns:
+            bounds.append((start, index + 1))
+            start = index + 1
+            budget = 0
+    total = len(instruction_counts)
+    if start < total:
+        bounds.append((start, total))
+    return bounds
+
+
+def trace_shard_bounds(
+    trace: "BlockTrace", program: Program, shard_insns: int
+) -> List[Tuple[int, int]]:
+    """Shard bounds for an in-memory trace against *program*."""
+    counts = {b.block_id: b.instruction_count for b in program}
+    return shard_bounds([counts[bid] for bid in trace.block_ids], shard_insns)
+
+
+def write_trace_shards(
+    trace: "BlockTrace",
+    program: Program,
+    directory,
+    shard_insns: int,
+) -> "ShardedTrace":
+    """Write *trace* as fixed-budget columnar shard chunks.
+
+    The directory gets one block-id column file per shard plus an
+    ``index.json`` recording the format, the cut, the per-shard block
+    and instruction totals, and the trace metadata.  Chunks are NumPy
+    ``.npy`` columns when the kernel is available, JSON lists
+    otherwise; the reader accepts both, so shard directories are
+    portable across kernel configurations.
+    """
+    import json
+    import os
+
+    from .. import kernel
+
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    counts = {b.block_id: b.instruction_count for b in program}
+    bounds = trace_shard_bounds(trace, program, shard_insns)
+    shards = []
+    for index, (start, stop) in enumerate(bounds):
+        ids = trace.block_ids[start:stop]
+        if kernel.HAVE_NUMPY:
+            import numpy as np
+
+            name = f"shard-{index:05d}.npy"
+            with open(os.path.join(directory, name), "wb") as handle:
+                np.save(handle, np.asarray(ids, dtype=np.int64),
+                        allow_pickle=False)
+        else:
+            name = f"shard-{index:05d}.json"
+            with open(os.path.join(directory, name), "w") as handle:
+                json.dump([int(b) for b in ids], handle)
+        shards.append(
+            {
+                "file": name,
+                "blocks": stop - start,
+                "instructions": sum(counts[bid] for bid in ids),
+            }
+        )
+    index_payload = {
+        "format": SHARD_FORMAT,
+        "version": SHARD_FORMAT_VERSION,
+        "shard_insns": shard_insns,
+        "total_blocks": len(trace),
+        "metadata": dict(trace.metadata),
+        "shards": shards,
+    }
+    with open(os.path.join(directory, SHARD_INDEX_NAME), "w") as handle:
+        json.dump(index_payload, handle, indent=1)
+    return ShardedTrace(directory)
+
+
+class ShardedTrace:
+    """Reader for an on-disk shard directory written by
+    :func:`write_trace_shards`.
+
+    Only one shard's block-id column is materialized at a time, which
+    is the whole point: replaying a :class:`ShardedTrace` keeps memory
+    bounded by the shard budget rather than the trace length.
+    """
+
+    def __init__(self, directory):
+        import json
+        import os
+
+        self.directory = os.fspath(directory)
+        index_path = os.path.join(self.directory, SHARD_INDEX_NAME)
+        with open(index_path) as handle:
+            index = json.load(handle)
+        if index.get("format") != SHARD_FORMAT:
+            raise ValueError(f"{index_path}: not a {SHARD_FORMAT} directory")
+        if index.get("version") != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"{index_path}: unsupported shard format version "
+                f"{index.get('version')!r}"
+            )
+        self.shard_insns = int(index["shard_insns"])
+        self.total_blocks = int(index["total_blocks"])
+        self.metadata: Dict[str, object] = dict(index.get("metadata", {}))
+        self._shards = index["shards"]
+        bounds = []
+        start = 0
+        for entry in self._shards:
+            stop = start + int(entry["blocks"])
+            bounds.append((start, stop))
+            start = stop
+        if start != self.total_blocks:
+            raise ValueError(
+                f"{index_path}: shard block counts sum to {start}, "
+                f"index says {self.total_blocks}"
+            )
+        self.bounds: List[Tuple[int, int]] = bounds
+
+    def __len__(self) -> int:
+        return self.total_blocks
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard(self, index: int) -> BlockTrace:
+        """Materialize one shard as a :class:`BlockTrace`."""
+        import json
+        import os
+
+        entry = self._shards[index]
+        path = os.path.join(self.directory, entry["file"])
+        if entry["file"].endswith(".npy"):
+            import numpy as np
+
+            with open(path, "rb") as handle:
+                ids = np.load(handle, allow_pickle=False).tolist()
+        else:
+            with open(path) as handle:
+                ids = json.load(handle)
+        if len(ids) != int(entry["blocks"]):
+            raise ValueError(
+                f"{path}: has {len(ids)} blocks, index says {entry['blocks']}"
+            )
+        return BlockTrace([int(b) for b in ids], dict(self.metadata))
+
+    def iter_shards(self) -> Iterator[Tuple[int, BlockTrace]]:
+        """Yield ``(offset, shard_trace)`` pairs in trace order."""
+        for index, (start, _stop) in enumerate(self.bounds):
+            yield start, self.shard(index)
+
+    def materialize(self) -> BlockTrace:
+        """The full in-memory trace (for differential testing)."""
+        ids: List[int] = []
+        for _offset, shard in self.iter_shards():
+            ids.extend(shard.block_ids)
+        return BlockTrace(ids, dict(self.metadata))

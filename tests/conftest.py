@@ -1,10 +1,20 @@
-"""Shared fixtures: small deterministic programs, traces and apps."""
+"""Shared fixtures and factories: deterministic programs, seeded
+random traces/plans, and microarchitectural state snapshots.
+
+The randomized factories are the one source of generated inputs for
+the differential suites — every test that wants "a random program
+with a random trace and maybe a random plan" builds it here, from an
+explicit ``random.Random`` so failures replay from the seed alone.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.hashing import context_mask
+from repro.core.instructions import PrefetchInstr, PrefetchPlan
 from repro.profiling.profiler import profile_execution
+from repro.sim.params import line_of
 from repro.sim.trace import BlockInfo, BlockTrace, Program
 from repro.workloads.apps import build_app
 
@@ -25,6 +35,107 @@ def make_program(block_sizes, base_address=0x400000, name="test-program"):
         )
         address += size
     return Program(blocks, name=name)
+
+
+def make_random_program(rng, n_blocks=48, sizes=(32, 64, 128, 192), name=None):
+    """A seeded random program.  *n_blocks* (against the 32 KiB L1I)
+    is the miss-density knob: small programs fit and mostly hit, large
+    ones thrash."""
+    return make_program(
+        [rng.choice(sizes) for _ in range(n_blocks)],
+        name=name or f"random-{n_blocks}b",
+    )
+
+
+def make_random_trace(rng, n_blocks, length, fanout=4):
+    """A seeded Markov walk over a random CFG.
+
+    Each block gets *fanout* successors drawn once; low fan-out yields
+    loopy, predictable traces, high fan-out approaches uniform-random
+    block selection.
+    """
+    successors = {
+        block: [rng.randrange(n_blocks) for _ in range(max(1, fanout))]
+        for block in range(n_blocks)
+    }
+    current = rng.randrange(n_blocks)
+    ids = []
+    for _ in range(length):
+        ids.append(current)
+        current = rng.choice(successors[current])
+    return BlockTrace(ids, {"generator": "markov", "fanout": fanout})
+
+
+def make_random_plan(rng, program, n_sites=6, hash_bits=16):
+    """A seeded random prefetch plan mixing every instruction kind
+    (plain, coalesced, conditional, both).  *n_sites* is the plan-
+    density knob."""
+    n_blocks = len(list(program))
+    instrs = []
+    for _ in range(n_sites):
+        site = rng.randrange(n_blocks)
+        target = line_of(program.block(rng.randrange(n_blocks)).address)
+        bit_vector = rng.randrange(1, 8) if rng.random() < 0.4 else 0
+        if rng.random() < 0.5:
+            ctx = tuple(sorted(
+                {rng.randrange(n_blocks) for _ in range(rng.randint(1, 3))}
+            ))
+            mask = context_mask(
+                [program.block(b).address for b in ctx], hash_bits
+            )
+            instrs.append(PrefetchInstr(
+                site_block=site, base_line=target, bit_vector=bit_vector,
+                context_mask=mask, context_blocks=ctx,
+            ))
+        else:
+            instrs.append(PrefetchInstr(
+                site_block=site, base_line=target, bit_vector=bit_vector,
+            ))
+    plan = PrefetchPlan(f"random-{n_sites}s")
+    plan.extend(instrs)
+    return plan
+
+
+def hierarchy_state(core):
+    """The complete final cache state of a replay: per level, per set,
+    MRU-first resident lines, pending-prefetch sets, fill-port clock."""
+    levels = (
+        ("l1i", core.hierarchy.l1i),
+        ("l2", core.hierarchy.l2),
+        ("l3", core.hierarchy.l3),
+    )
+    state = {
+        level: {
+            index: list(stack._stack)
+            for index, stack in cache._sets.items()
+        }
+        for level, cache in levels
+    }
+    state["pending"] = {
+        level: sorted(cache._pending_prefetched) for level, cache in levels
+    }
+    state["fill_port_busy"] = core.hierarchy.fill_port.busy_until
+    return state
+
+
+def engine_state(core):
+    """The prefetch engine's complete runtime state after a replay."""
+    engine = core.engine
+    if engine is None:
+        return None
+    state = {
+        "inflight": dict(engine.inflight),
+        "tp": engine.true_positive_firings,
+        "fp": engine.false_positive_firings,
+        "fp_rate": engine.conditional_false_positive_rate,
+    }
+    if engine.tracker is not None:
+        state["fifo"] = engine.tracker.history()
+        state["counters"] = engine.tracker.counters()
+        state["bits"] = engine.tracker.bits()
+    if engine.exact_history is not None:
+        state["exact"] = list(engine.exact_history)
+    return state
 
 
 @pytest.fixture

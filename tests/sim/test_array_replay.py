@@ -19,24 +19,9 @@ from repro.sim.datatraffic import DataTrafficModel
 from repro.sim.trace import BlockTrace
 from repro.workloads.apps import build_app
 
-from ..conftest import make_program
+from ..conftest import hierarchy_state as _hierarchy_state, make_program
 
 APPS = ("wordpress", "drupal", "finagle-http")
-
-
-def _hierarchy_state(core):
-    """Full cache residency: per level, per set, MRU-first lines."""
-    return {
-        level: {
-            index: list(stack._stack)
-            for index, stack in cache._sets.items()
-        }
-        for level, cache in (
-            ("l1i", core.hierarchy.l1i),
-            ("l2", core.hierarchy.l2),
-            ("l3", core.hierarchy.l3),
-        )
-    }
 
 
 def _run(program, trace, backend, data_traffic=None, warmup=0, ideal=False):

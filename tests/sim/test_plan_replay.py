@@ -24,50 +24,11 @@ from repro.sim.cpu import CoreSimulator, TraceObserver
 from repro.sim.params import line_of
 from repro.sim.trace import BlockTrace
 
-from ..conftest import make_program
-
-
-def _hierarchy_state(core):
-    """Full cache residency: per level, per set, MRU-first lines."""
-    state = {
-        level: {
-            index: list(stack._stack)
-            for index, stack in cache._sets.items()
-        }
-        for level, cache in (
-            ("l1i", core.hierarchy.l1i),
-            ("l2", core.hierarchy.l2),
-            ("l3", core.hierarchy.l3),
-        )
-    }
-    state["pending"] = {
-        level: sorted(cache._pending_prefetched)
-        for level, cache in (
-            ("l1i", core.hierarchy.l1i),
-            ("l2", core.hierarchy.l2),
-            ("l3", core.hierarchy.l3),
-        )
-    }
-    state["fill_port_busy"] = core.hierarchy.fill_port.busy_until
-    return state
-
-
-def _engine_state(core):
-    """The prefetch engine's complete runtime state after a replay."""
-    engine = core.engine
-    state = {
-        "inflight": dict(engine.inflight),
-        "tp": engine.true_positive_firings,
-        "fp": engine.false_positive_firings,
-        "fp_rate": engine.conditional_false_positive_rate,
-    }
-    if engine.tracker is not None:
-        state["fifo"] = engine.tracker.history()
-        state["counters"] = engine.tracker.counters()
-        state["bits"] = engine.tracker.bits()
-    if engine.exact_history is not None:
-        state["exact"] = list(engine.exact_history)
-    return state
+from ..conftest import (
+    engine_state as _engine_state,
+    hierarchy_state as _hierarchy_state,
+    make_program,
+)
 
 
 def _run(program, trace, backend, plan, data_traffic=None, warmup=0, **kwargs):

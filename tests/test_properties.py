@@ -5,12 +5,16 @@ full simulator and checks the invariants that hold for *any* input —
 the accounting identities every figure ultimately rests on.
 """
 
+import tempfile
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.instructions import PrefetchInstr, PrefetchPlan
-from repro.sim.cpu import simulate
+from repro.io import ArtifactStore
+from repro.sim.cpu import CoreSimulator, simulate
 from repro.sim.params import MachineParams
+from repro.sim.streaming import StoreCheckpointer
 from repro.sim.trace import BlockInfo, BlockTrace, Program
 
 # -- strategies -------------------------------------------------------------
@@ -144,6 +148,83 @@ class TestPrefetchedSimulationInvariants:
             program, trace, plan=plan, prefetch_insertion_fraction=fraction
         )
         assert stats.cycles > 0
+
+
+class _KillAfter(StoreCheckpointer):
+    """A checkpointer that dies after its k-th successful save —
+    the crash model for the resume invariants below."""
+
+    def __init__(self, store, parts, kill_at):
+        super().__init__(store, parts)
+        self.kill_at = kill_at
+        self.saves = 0
+
+    def save(self, index, payload):
+        super().save(index, payload)
+        self.saves += 1
+        if self.saves >= self.kill_at:
+            raise KeyboardInterrupt("simulated crash")
+
+
+class TestShardedResumeInvariants:
+    """Killing a sharded run after any number of checkpoints and
+    re-running it against the same ArtifactStore must produce exactly
+    the uninterrupted whole-trace result.
+
+    If the crash lands after the final checkpoint, the first run
+    completes and the resume degenerates to a fresh run — also
+    required to match, so the property holds for every ``kill_at``.
+    """
+
+    @given(programs_traces_plans(), st.integers(1, 6), st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_killed_run_resumes_to_identical_result(
+        self, case, kill_at, warmup
+    ):
+        program, trace, plan = case
+        whole = simulate(program, trace, plan=plan, warmup=warmup)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            parts = {"case": "resume-property", "warmup": warmup}
+            try:
+                CoreSimulator(program, plan=plan).run(
+                    trace, warmup=warmup, shard_insns=40,
+                    checkpointer=_KillAfter(store, parts, kill_at),
+                )
+            except KeyboardInterrupt:
+                pass
+            resumed = CoreSimulator(program, plan=plan).run(
+                trace, warmup=warmup, shard_insns=40,
+                checkpointer=StoreCheckpointer(store, parts),
+            )
+        assert resumed == whole
+
+    @given(programs_with_traces(), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_resume_survives_repeated_crashes(self, case, crashes):
+        """Crash-resume-crash-resume...: every restart picks up from
+        the newest surviving checkpoint and still lands exactly on
+        the whole-trace statistics."""
+        program, trace = case
+        whole = simulate(program, trace)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            parts = {"case": "repeated-crashes"}
+            for _ in range(crashes):
+                try:
+                    CoreSimulator(program).run(
+                        trace, shard_insns=25,
+                        checkpointer=_KillAfter(store, parts, 1),
+                    )
+                except KeyboardInterrupt:
+                    pass
+            resumed = CoreSimulator(program).run(
+                trace, shard_insns=25,
+                checkpointer=StoreCheckpointer(store, parts),
+            )
+        assert resumed == whole
 
 
 class TestMachineInvariants:
