@@ -1,0 +1,233 @@
+"""Parallel sharded-replay benchmark: sequential vs exact vs tolerant.
+
+Times whole-trace sequential replay against the parallel shard
+executor (``--parallel-shards``) in both modes, on the same wordpress
+workload the perf-smoke benchmark uses (stretched to a 600k-block
+evaluation trace so per-run fixed costs amortize), replaying from an
+on-disk sharded trace so workers mmap their shards instead of
+receiving them by pickle.
+
+Honesty note — this benchmark is routinely run on a **single-CPU**
+container (``os.cpu_count() == 1``), where real multi-worker wall
+times cannot show a speedup: every worker shares one core, so adding
+workers adds overhead and nothing else.  The numbers recorded here are
+therefore split into two clearly separated sections:
+
+* ``measured`` — actual wall times observed on this host, including
+  the 1-worker decomposition into parallelizable worker-busy seconds
+  and inherently serial parent seconds (pool round wall vs total
+  wall).  Exact-mode runs are asserted bit-identical to sequential;
+  tolerant runs are asserted to obey the documented tolerance.
+* ``projection`` — an Amdahl model ``t(n) = serial + busy / n`` built
+  from that measured decomposition.  It is a model, not a measurement,
+  and is labeled as such in the JSON.
+
+The decomposition also records *why* the two modes scale differently:
+exact mode only ships the L1 LRU sweep to workers (the parent fold
+still replays L2/L3 and the accounting serially, bounding its
+projected speedup well below the tolerant mode's), while tolerant mode
+runs entire fresh simulators in workers and its serial fraction is the
+stats merge — well under 1% of sequential time.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro import kernel
+from repro.analysis.experiments import Evaluator, ExperimentSettings
+from repro.analysis.reporting import render_table
+from repro.perf import PerfRegistry
+from repro.sim.cpu import CoreSimulator
+from repro.sim.parallel import ParallelConfig
+from repro.sim.trace import ShardedTrace, write_trace_shards
+
+from .conftest import write_json, write_result
+
+EVAL_LENGTH = 600_000
+WARMUP = 30_000
+NUM_SHARDS = 16
+SEQ_REPEATS = 3
+PAR_REPEATS = 2
+PROJECTED_WORKERS = (2, 4, 8, 16)
+
+
+def _best_sequential(program, sharded):
+    best = None
+    stats = None
+    for _ in range(SEQ_REPEATS):
+        core = CoreSimulator(program)
+        t0 = time.perf_counter()
+        stats = core.run(sharded, warmup=WARMUP)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, stats
+
+
+def _best_parallel(program, sharded, mode, workers):
+    """Best-of wall time plus the perf decomposition of the best run."""
+    best = None
+    stats = None
+    registry = None
+    for _ in range(PAR_REPEATS):
+        perf = PerfRegistry()
+        core = CoreSimulator(program)
+        t0 = time.perf_counter()
+        run_stats = core.run(
+            sharded,
+            warmup=WARMUP,
+            parallel=ParallelConfig(mode, workers=workers, perf=perf),
+        )
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best, stats, registry = elapsed, run_stats, perf
+    return best, stats, registry
+
+
+def _rounds_wall(registry, mode):
+    stages = (
+        ("parallel:l1-summary", "parallel:l1-scan")
+        if mode == "exact"
+        else ("parallel:tolerant",)
+    )
+    return sum(registry.seconds(stage) for stage in stages)
+
+
+def test_parallel_shards(results_dir, tmp_path_factory):
+    evaluation = Evaluator(ExperimentSettings(eval_length=EVAL_LENGTH))[
+        "wordpress"
+    ]
+    program = evaluation.app.program
+    trace = evaluation.eval_trace
+    total = trace.instruction_count(program)
+    shard_dir = tmp_path_factory.mktemp("parallel-shards")
+    write_trace_shards(trace, program, shard_dir, total // NUM_SHARDS)
+    sharded = ShardedTrace(shard_dir)
+
+    with kernel.force_numpy_kernel():
+        t_seq, seq = _best_sequential(program, sharded)
+        modes = {}
+        for mode in ("exact", "tolerant"):
+            walls = {}
+            decomposition = None
+            for workers in (1, 2):
+                wall, stats, registry = _best_parallel(
+                    program, sharded, mode, workers
+                )
+                walls[workers] = wall
+                if mode == "exact":
+                    # the executor's contract: bit-identical statistics
+                    assert stats == seq, (
+                        f"exact mode diverged at workers={workers}"
+                    )
+                else:
+                    assert stats.program_instructions == seq.program_instructions
+                    assert stats.l1i_accesses == seq.l1i_accesses
+                    geometry = CoreSimulator(program).machine.l1i
+                    bound = (
+                        (sharded.num_shards - 1) * geometry.num_sets * geometry.ways
+                    )
+                    assert abs(stats.l1i_misses - seq.l1i_misses) <= bound
+                if workers == 1:
+                    rounds = _rounds_wall(registry, mode)
+                    busy = registry.seconds("parallel:busy")
+                    decomposition = {
+                        "wall_seconds": wall,
+                        "busy_seconds": busy,
+                        "rounds_wall_seconds": rounds,
+                        "serial_seconds": wall - rounds,
+                        "utilization": registry.worker_utilization(),
+                    }
+                    if mode == "tolerant":
+                        decomposition["l1i_misses_delta"] = (
+                            stats.l1i_misses - seq.l1i_misses
+                        )
+                        decomposition["l1i_misses_bound"] = bound
+            serial = decomposition["serial_seconds"]
+            busy = decomposition["busy_seconds"]
+            projected = {
+                n: t_seq / (serial + busy / n) for n in PROJECTED_WORKERS
+            }
+            modes[mode] = {
+                "measured_walls": {str(k): v for k, v in walls.items()},
+                "decomposition": decomposition,
+                "projected_speedup": {
+                    str(n): s for n, s in projected.items()
+                },
+            }
+            # scaling sanity: the model must improve monotonically with
+            # workers, and tolerant mode — whose serial part is only the
+            # stats merge — must project a clear parallel win
+            speedups = [projected[n] for n in PROJECTED_WORKERS]
+            assert speedups == sorted(speedups)
+        assert modes["tolerant"]["projected_speedup"]["8"] > 2.0
+
+    payload = {
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "workload": {
+            "app": "wordpress",
+            "eval_length": EVAL_LENGTH,
+            "warmup": WARMUP,
+            "instructions": total,
+            "num_shards": sharded.num_shards,
+            "trace_format": "on-disk sharded (mmap)",
+        },
+        "measured": {
+            "sequential_seconds": t_seq,
+            "modes": modes,
+        },
+        "projection": {
+            "method": (
+                "Amdahl from the 1-worker decomposition: "
+                "t(n) = serial + busy/n, speedup(n) = sequential / t(n); "
+                "serial = wall - pool-round wall, busy = worker task "
+                "seconds (parallel:busy)"
+            ),
+            "caveat": (
+                "projected, not measured: this host has "
+                f"{os.cpu_count()} CPU(s), so real multi-worker walls "
+                "cannot demonstrate speedup here"
+            ),
+            "exact_mode_bound": (
+                "exact mode parallelizes only the L1 LRU sweep; the "
+                "parent fold still replays L2/L3 and the accounting "
+                "serially, so its projection saturates near "
+                "sequential/serial regardless of worker count"
+            ),
+        },
+    }
+    write_json(results_dir, "parallel_shards", payload)
+
+    rows = [
+        {
+            "configuration": "sequential",
+            "wall_s": round(t_seq, 3),
+            "projected_8w_speedup": "",
+        }
+    ]
+    for mode, entry in modes.items():
+        for workers, wall in entry["measured_walls"].items():
+            rows.append(
+                {
+                    "configuration": f"{mode} workers={workers}",
+                    "wall_s": round(wall, 3),
+                    "projected_8w_speedup": (
+                        f"{entry['projected_speedup']['8']:.2f}x"
+                        if workers == "1"
+                        else ""
+                    ),
+                }
+            )
+    table = render_table(
+        rows,
+        title=(
+            f"parallel sharded replay (cpu_count={os.cpu_count()}; "
+            "projections are Amdahl models, not measurements)"
+        ),
+    )
+    write_result(results_dir, "parallel_shards", table)

@@ -29,10 +29,18 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 DEFAULT_BASELINE = os.path.join(HERE, "coverage_baseline.json")
 
-#: baseline key -> path fragment that assigns a measured file to it
+#: baseline key -> path fragment that assigns a measured file to it.
+#: Buckets are not exclusive: a file matching several fragments counts
+#: toward each (per-file floors ride on top of their tree's floor).
 GATED_TREES = {
     "src/repro/sim/": os.path.join("src", "repro", "sim") + os.sep,
     "src/repro/core/": os.path.join("src", "repro", "core") + os.sep,
+    "src/repro/sim/streaming.py": os.path.join(
+        "src", "repro", "sim", "streaming.py"
+    ),
+    "src/repro/sim/parallel.py": os.path.join(
+        "src", "repro", "sim", "parallel.py"
+    ),
 }
 
 
@@ -55,14 +63,15 @@ def measure(data_file):
     cov.load()
     totals = {key: [0, 0] for key in GATED_TREES}
     for path in cov.get_data().measured_files():
-        for key, fragment in GATED_TREES.items():
-            if fragment in path:
-                break
-        else:
+        keys = [
+            key for key, fragment in GATED_TREES.items() if fragment in path
+        ]
+        if not keys:
             continue
         _, statements, _, missing, _ = cov.analysis2(path)
-        totals[key][0] += len(statements) - len(missing)
-        totals[key][1] += len(statements)
+        for key in keys:
+            totals[key][0] += len(statements) - len(missing)
+            totals[key][1] += len(statements)
     return totals
 
 

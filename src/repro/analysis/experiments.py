@@ -93,6 +93,7 @@ class AppEvaluation:
         perf: Optional[perf_mod.PerfRegistry] = None,
         tracer=None,
         shard_insns: Optional[int] = None,
+        parallel=None,
     ):
         self.name = name
         self.settings = settings
@@ -106,6 +107,12 @@ class AppEvaluation:
         #: checkpoints key on it (a checkpoint is only valid for the
         #: exact shard geometry that wrote it).
         self.shard_insns = shard_insns
+        #: optional :class:`~repro.sim.parallel.ParallelConfig` fanning
+        #: each replay's shards across worker processes.  ``exact``
+        #: mode is another execution knob (bit-identical, absent from
+        #: cache keys); ``tolerant`` trades documented accuracy for
+        #: speed, so persistent caching is disabled for its stats.
+        self.parallel = parallel
         self._app: Optional[SyntheticApp] = None
         self._profile: Optional[ExecutionProfile] = None
         self._eval_trace: Optional[BlockTrace] = None
@@ -217,11 +224,18 @@ class AppEvaluation:
 
     # -- simulation --------------------------------------------------------
 
+    def _tolerant_replay(self) -> bool:
+        """True when replays run under the tolerant parallel mode,
+        whose statistics are approximate — they must neither be served
+        from nor written to the persistent store (stats keys describe
+        the exact result)."""
+        return self.parallel is not None and self.parallel.mode == "tolerant"
+
     def _cached_stats(self, key: str) -> Optional[SimStats]:
         stats = self._sim_cache.get(key)
         if stats is not None:
             return stats
-        if self.store is not None:
+        if self.store is not None and not self._tolerant_replay():
             stats = self.store.load_stats(key)
             if stats is not None:
                 self.perf.count("store-hit:stats")
@@ -231,7 +245,7 @@ class AppEvaluation:
 
     def _remember_stats(self, key: str, stats: SimStats) -> None:
         self._sim_cache[key] = stats
-        if self.store is not None:
+        if self.store is not None and not self._tolerant_replay():
             self.store.save_stats(key, stats)
 
     def _checkpointer(self, stats_key: str):
@@ -279,6 +293,7 @@ class AppEvaluation:
                 warmup=self.settings.warmup,
                 shard_insns=self.shard_insns,
                 checkpointer=self._checkpointer(key),
+                parallel=self.parallel,
             )
             span.set(backend=core.last_replay_backend)
         self.perf.count(
@@ -314,6 +329,7 @@ class AppEvaluation:
                 warmup=self.settings.warmup,
                 shard_insns=self.shard_insns,
                 checkpointer=self._checkpointer(key),
+                parallel=self.parallel,
             )
             span.set(backend=core.last_replay_backend)
         self.perf.count(
@@ -602,6 +618,35 @@ class Evaluator:
         self.jobs = config.jobs
         self.shard_insns: Optional[int] = getattr(config, "shard_insns", None)
         self.perf = perf_mod.registry(config.perf)
+        # Intra-trace shard parallelism: one ParallelConfig shared by
+        # every AppEvaluation.  The shard pools' worker count comes out
+        # of the same budget the sweep-level ``jobs`` draw from, so
+        # --jobs and --parallel-shards can no longer multiply into
+        # unbounded process counts (satellite of the PR 6 executor).
+        self.parallel = None
+        parallel_mode = getattr(config, "parallel_shards", None)
+        if parallel_mode is not None:
+            if self.shard_insns is None:
+                import warnings
+
+                warnings.warn(
+                    "parallel_shards requires shard_insns; replaying "
+                    "whole traces sequentially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                from ..sim.parallel import ParallelConfig
+                from .jobs import split_worker_budget
+
+                _, shard_workers = split_worker_budget(
+                    self.jobs, None, getattr(config, "worker_budget", None)
+                )
+                self.parallel = ParallelConfig(
+                    mode=parallel_mode,
+                    workers=shard_workers,
+                    perf=self.perf,
+                )
         # the config's tracer when it has one, else whatever tracer is
         # installed process-wide (the null tracer when tracing is off)
         self.tracer = (
@@ -621,6 +666,7 @@ class Evaluator:
                 perf=self.perf,
                 tracer=self.tracer,
                 shard_insns=self.shard_insns,
+                parallel=self.parallel,
             )
         return self._apps[name]
 

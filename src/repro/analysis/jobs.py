@@ -22,6 +22,7 @@ completion order, and whether or not tracing is on.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -37,11 +38,60 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+def split_worker_budget(
+    jobs: Optional[int],
+    shard_workers: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Divide one worker-process *budget* between sweep-level *jobs*
+    and per-trace shard workers.
+
+    Returns ``(jobs, shard_workers)``, both resolved to concrete
+    counts.  Without a budget, both knobs resolve independently (the
+    historical behaviour: ``--jobs 4 --parallel-shards`` could ask for
+    ``4 × cpu_count`` processes).  With a budget, every sweep worker's
+    shard pool gets an equal share — ``budget // jobs``, at least 1 —
+    and a :class:`RuntimeWarning` explains any clamping:
+
+    * ``jobs > budget``: the sweep level alone oversubscribes; jobs
+      are left untouched (cutting them would change sweep semantics)
+      but shard pools collapse to 1 worker each.
+    * a requested ``shard_workers`` above the share is clamped down.
+    """
+    jobs = resolve_jobs(jobs)
+    if budget is None:
+        return jobs, resolve_jobs(shard_workers)
+    budget = max(1, int(budget))
+    share = max(1, budget // jobs)
+    if jobs > budget:
+        warnings.warn(
+            f"--jobs {jobs} alone oversubscribes the worker budget "
+            f"{budget}; shard pools run with 1 worker each",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return jobs, 1
+    if shard_workers is not None and int(shard_workers) > 0:
+        shard_workers = int(shard_workers)
+        if jobs * shard_workers > budget:
+            warnings.warn(
+                f"{jobs} jobs x {shard_workers} shard workers "
+                f"oversubscribes the worker budget {budget}; clamping "
+                f"shard pools to {share} workers",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return jobs, share
+        return jobs, shard_workers
+    return jobs, share
+
+
 def _worker_evaluator(
     settings: "ExperimentSettings",
     store_root: str,
     tracing: bool = False,
     shard_insns: Optional[int] = None,
+    parallel: Optional[Tuple[str, int]] = None,
 ):
     from .. import perf as perf_mod
     from ..obs.trace import NULL_TRACER, Tracer, set_tracer
@@ -50,12 +100,18 @@ def _worker_evaluator(
 
     tracer = Tracer(process_label="repro-worker") if tracing else NULL_TRACER
     set_tracer(tracer)
+    # *parallel* is the parent's already-split (mode, shard workers)
+    # share of the worker budget: handing it over as this worker's
+    # whole budget (jobs=1 here) reproduces exactly that pool size.
+    mode, workers = parallel if parallel is not None else (None, None)
     config = RunConfig(
         settings=settings,
         store=store_root,
         perf=perf_mod.PerfRegistry(),
         tracer=tracer,
         shard_insns=shard_insns,
+        parallel_shards=mode,
+        worker_budget=workers,
     )
     return Evaluator(config=config)
 
@@ -66,9 +122,12 @@ def prepare_app(
     store_root: str,
     tracing: bool = False,
     shard_insns: Optional[int] = None,
+    parallel: Optional[Tuple[str, int]] = None,
 ) -> Tuple[str, Dict[str, tuple], List[dict]]:
     """Phase-1 job: persist one app's profile and default plans."""
-    evaluator = _worker_evaluator(settings, store_root, tracing, shard_insns)
+    evaluator = _worker_evaluator(
+        settings, store_root, tracing, shard_insns, parallel
+    )
     with evaluator.tracer.span("job:prepare-app", app=name):
         evaluation = evaluator[name]
         evaluation.profile
@@ -84,6 +143,7 @@ def evaluate_variant(
     store_root: str,
     tracing: bool = False,
     shard_insns: Optional[int] = None,
+    parallel: Optional[Tuple[str, int]] = None,
 ) -> Tuple[str, str, "SimStats", Dict[str, tuple], List[dict]]:
     """Phase-2 job: simulate one (app, variant) pair.
 
@@ -92,7 +152,9 @@ def evaluate_variant(
     killed prewarm re-invoked with the same configuration resumes
     every in-flight simulation from its last completed shard.
     """
-    evaluator = _worker_evaluator(settings, store_root, tracing, shard_insns)
+    evaluator = _worker_evaluator(
+        settings, store_root, tracing, shard_insns, parallel
+    )
     with evaluator.tracer.span("job:evaluate-variant", app=name, variant=variant):
         stats = evaluator[name].stats_for(variant)
     return name, variant, stats, evaluator.perf.snapshot(), evaluator.tracer.snapshot()
@@ -116,12 +178,18 @@ def run_prewarm_jobs(
     tracer = evaluator.tracer
     tracing = tracer.enabled
     shard_insns = evaluator.shard_insns
+    parallel_cfg = getattr(evaluator, "parallel", None)
+    parallel = (
+        (parallel_cfg.mode, parallel_cfg.resolve_workers())
+        if parallel_cfg is not None
+        else None
+    )
     with ProcessPoolExecutor(max_workers=n_jobs) as pool:
         with tracer.span("prewarm:prepare", apps=len(names)):
             prepared = [
                 pool.submit(
                     prepare_app, name, settings, store_root, tracing,
-                    shard_insns,
+                    shard_insns, parallel,
                 )
                 for name in names
             ]
@@ -135,7 +203,7 @@ def run_prewarm_jobs(
             simulated = [
                 pool.submit(
                     evaluate_variant, name, variant, settings, store_root,
-                    tracing, shard_insns,
+                    tracing, shard_insns, parallel,
                 )
                 for name in names
                 for variant in variants

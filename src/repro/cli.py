@@ -29,6 +29,11 @@ Examples
     # stream replays in 20k-instruction shards; with a cache directory,
     # a killed run resumes from the last completed shard when re-run
     python -m repro evaluate wordpress --shard-insns 20000 --cache .repro-cache
+    # fan each trace's shards across worker processes, bit-identically
+    python -m repro evaluate wordpress --shard-insns 20000 --parallel-shards exact
+    # sweep-level jobs and shard pools drawing from one 8-process budget
+    python -m repro report --jobs 2 --shard-insns 20000 \\
+        --parallel-shards exact --worker-budget 8
 """
 
 from __future__ import annotations

@@ -52,6 +52,12 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
     },
     "jobs": int,
     "shard_insns": (int, type(None)),  # trace shard budget, None = whole-trace
+    "parallel": {
+        "mode": (str, type(None)),        # exact/tolerant, None = sequential
+        "workers": (int, type(None)),     # shard-pool size, None = sequential
+        "busy_seconds": (int, float),     # worker-seconds spent computing
+        "idle_seconds": (int, float),     # worker-seconds spent waiting
+    },
     "kernel": {
         "numpy_available": bool,
         "numpy_enabled": bool,
@@ -194,6 +200,7 @@ class RunManifest:
         import repro
         from .. import kernel
 
+        parallel_cfg = getattr(evaluator, "parallel", None)
         store = getattr(evaluator, "store", None)
         if store is not None:
             hits, misses = store.counters()
@@ -238,6 +245,18 @@ class RunManifest:
             "settings": dataclasses.asdict(evaluator.settings),
             "jobs": evaluator.jobs,
             "shard_insns": getattr(evaluator, "shard_insns", None),
+            "parallel": {
+                "mode": (
+                    parallel_cfg.mode if parallel_cfg is not None else None
+                ),
+                "workers": (
+                    parallel_cfg.resolve_workers()
+                    if parallel_cfg is not None
+                    else None
+                ),
+                "busy_seconds": evaluator.perf.seconds("parallel:busy"),
+                "idle_seconds": evaluator.perf.seconds("parallel:idle"),
+            },
             "kernel": {
                 "numpy_available": kernel.HAVE_NUMPY,
                 "numpy_enabled": kernel.numpy_enabled(),

@@ -169,7 +169,27 @@ class PerfRegistry:
                 f"{name}={calls}" for name, calls in sorted(backends.items())
             )
             lines.append(f"replay backends: {summary}")
+        utilization = self.worker_utilization()
+        if utilization is not None:
+            busy = self.seconds("parallel:busy")
+            idle = self.seconds("parallel:idle")
+            lines.append(
+                f"shard workers: {utilization:.0%} busy "
+                f"({busy:.3f}s busy / {idle:.3f}s idle across "
+                f"{self.units('parallel:shard') or self.calls('parallel:shard')}"
+                f" shard tasks)"
+            )
         return "\n".join(lines)
+
+    def worker_utilization(self) -> Optional[float]:
+        """Busy fraction of the parallel shard pool's worker-seconds,
+        or None when no parallel rounds ran."""
+        busy = self.seconds("parallel:busy")
+        idle = self.seconds("parallel:idle")
+        total = busy + idle
+        if total <= 0.0:
+            return None
+        return busy / total
 
 
 #: Process-wide default registry (the CLI's ``--timing`` view).

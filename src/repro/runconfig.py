@@ -63,6 +63,17 @@ class RunConfig:
     #: knob, not an experiment setting: results are bit-identical, so
     #: it never enters result cache keys.
     shard_insns: Optional[int] = None
+    #: fan each trace's shards across worker processes: ``"exact"``
+    #: (bit-identical, no-plan columnar backends, sequential fallback
+    #: otherwise) or ``"tolerant"`` (any backend, documented stats
+    #: tolerance — see :mod:`repro.sim.parallel`); requires
+    #: ``shard_insns``.  Like it, an execution knob: never cached on.
+    parallel_shards: Optional[str] = None
+    #: total worker-process budget shared between sweep-level ``jobs``
+    #: and intra-trace shard workers (see
+    #: :func:`repro.analysis.jobs.split_worker_budget`); None sizes
+    #: shard pools at one worker per CPU
+    worker_budget: Optional[int] = None
     #: print the per-stage timing report when the run finishes
     timing: bool = False
     #: write a Chrome-trace-event JSONL of the run's spans here
@@ -105,6 +116,8 @@ class RunConfig:
             store=store,
             numpy_kernel=False if getattr(args, "no_numpy_kernel", False) else None,
             shard_insns=getattr(args, "shard_insns", None),
+            parallel_shards=getattr(args, "parallel_shards", None),
+            worker_budget=getattr(args, "worker_budget", None),
             timing=getattr(args, "timing", False),
             trace_path=getattr(args, "trace", None),
             manifest_path=getattr(args, "manifest", None),
@@ -197,6 +210,21 @@ def add_run_arguments(
         "instructions (bounded memory; with --cache, killed runs "
         "resume from the last completed shard; results are "
         "bit-identical to whole-trace replay)",
+    )
+    run.add_argument(
+        "--parallel-shards", choices=("exact", "tolerant"), default=None,
+        metavar="MODE",
+        help="replay each trace's shards across worker processes "
+        "(requires --shard-insns): 'exact' is bit-identical and "
+        "serves the no-plan columnar backends (others fall back to "
+        "sequential replay), 'tolerant' serves every backend with a "
+        "documented statistics tolerance",
+    )
+    run.add_argument(
+        "--worker-budget", type=int, default=None, metavar="N",
+        help="total worker processes shared between --jobs sweep "
+        "workers and --parallel-shards pools (warns and clamps the "
+        "shard pools when --jobs alone would oversubscribe it)",
     )
 
     telemetry = parser.add_argument_group("telemetry")

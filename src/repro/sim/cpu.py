@@ -172,6 +172,7 @@ class CoreSimulator:
         warmup: int = 0,
         shard_insns: Optional[int] = None,
         checkpointer=None,
+        parallel=None,
     ) -> SimStats:
         """Replay *trace* and return the populated statistics.
 
@@ -184,13 +185,17 @@ class CoreSimulator:
         ShardedTrace` passed as *trace*) the replay streams the trace
         shard by shard — bounded memory, bit-identical statistics —
         and an optional *checkpointer* (see :mod:`repro.sim.streaming`)
-        records per-shard state so a killed run can resume.
+        records per-shard state so a killed run can resume.  An
+        optional *parallel* :class:`~repro.sim.parallel.ParallelConfig`
+        fans the shards across worker processes (falling back to
+        sequential replay when the configuration is ineligible).
         """
         from .trace import ShardedTrace
 
         if (
             shard_insns is not None
             or checkpointer is not None
+            or parallel is not None
             or isinstance(trace, ShardedTrace)
         ):
             from .streaming import run_sharded
@@ -202,6 +207,7 @@ class CoreSimulator:
                 warmup=warmup,
                 shard_insns=shard_insns,
                 checkpointer=checkpointer,
+                parallel=parallel,
             )
         with get_tracer().span(
             "sim:run",
@@ -414,6 +420,7 @@ def simulate(
     warmup: int = 0,
     prefetch_insertion_fraction: float = 0.5,
     shard_insns: Optional[int] = None,
+    parallel=None,
 ) -> SimStats:
     """One-shot convenience wrapper around :class:`CoreSimulator`."""
     core = CoreSimulator(
@@ -428,5 +435,9 @@ def simulate(
         prefetch_insertion_fraction=prefetch_insertion_fraction,
     )
     return core.run(
-        trace, observer=observer, warmup=warmup, shard_insns=shard_insns
+        trace,
+        observer=observer,
+        warmup=warmup,
+        shard_insns=shard_insns,
+        parallel=parallel,
     )

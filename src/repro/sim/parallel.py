@@ -1,0 +1,348 @@
+"""Process-parallel shard replay: workers, pool and LRU stitching.
+
+This module is the worker side of the parallel sharded-replay
+executor (:mod:`repro.sim.streaming` holds the drivers).  Workers
+consume the on-disk shard format (:class:`~repro.sim.trace.
+ShardedTrace`) directly — shard columns are memory-mapped from disk,
+never pickled through the pool — and each worker emits spans absorbed
+onto per-worker timelines via :meth:`~repro.obs.trace.Tracer.absorb`.
+
+Two modes:
+
+**exact** (no-plan columnar backends only) splits the replay into two
+parallel rounds plus a cheap sequential fold:
+
+1. every worker summarizes its shard's L1I access stream as the
+   per-set *distinct lines by last access* (capped at the
+   associativity) — the only part of a shard that can influence the
+   L1 state any later shard starts from;
+2. the parent composes those summaries left-to-right with
+   :func:`compose_lru_state` into the **exact** L1 start state of
+   every shard (the composition law below), then workers replay the
+   exact per-access LRU sweep of their shard from that true start
+   state;
+3. the parent folds the per-shard hit/evict streams through the
+   unchanged sequential kernel (``array_shard_replay(l1_precomputed=
+   ...)``), which runs the L2/L3 sweeps, the data-traffic decode and
+   the timing pass sequentially — so the result is bit-identical to
+   sequential replay *by construction*, checkpoints included.
+
+The composition law: for an LRU set with ``ways`` ways, start state
+``S`` (oldest-first) and a shard whose distinct accessed lines in that
+set, ordered by last access (oldest first), are ``D``, the end state
+is ``([s for s in S if s not in D] + D)[-ways:]`` — every line of
+``D`` ends more recent than every surviving line of ``S``, in exactly
+its last-access order, and only ``D``'s last ``ways`` entries can
+survive, so capping the summary at the associativity is lossless.
+
+**tolerant** replays every shard in a fresh simulator warmed by a
+short prefix of the preceding shard (``prefix_blocks``), trading a
+documented approximation for plan-backend parallelism.  Approximation
+contract: ``program_instructions``, ``l1i_accesses`` and
+``prefetch_instructions_executed`` are exact; ``l1i_misses`` is
+over-counted by at most ``(num_shards - 1) * l1_capacity_lines`` cold
+misses (each boundary can at worst re-miss one full L1I of state);
+derived cycle counts inherit that bias; the final hierarchy/engine
+state is left cold and resume checkpoints are not written.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import kernel
+from ..obs.trace import Tracer, get_tracer, use_tracer
+
+PARALLEL_MODES = ("exact", "tolerant")
+
+
+@dataclass
+class ParallelConfig:
+    """How to fan one trace's shards across worker processes.
+
+    ``mode`` is ``"exact"`` (bit-identical, no-plan columnar backends;
+    other configurations fall back to sequential replay) or
+    ``"tolerant"`` (any backend, documented approximation).
+    ``workers`` of ``None`` or ``<= 0`` means one per CPU.
+    ``prefix_blocks`` is the tolerant mode's warm-up prefix length.
+    ``perf`` receives the pool's busy/idle accounting (the process
+    registry when None).
+    """
+
+    mode: str = "exact"
+    workers: Optional[int] = None
+    prefix_blocks: int = 64
+    perf: object = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"parallel mode must be one of {PARALLEL_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+    def resolve_workers(self) -> int:
+        if self.workers is None or int(self.workers) <= 0:
+            return os.cpu_count() or 1
+        return int(self.workers)
+
+
+# -- LRU state stitching -----------------------------------------------------
+
+
+def compose_lru_state(
+    state: Dict[int, Dict[int, None]],
+    summary: List[list],
+    ways: int,
+) -> Dict[int, Dict[int, None]]:
+    """Advance an L1 LRU state across one whole shard, from its
+    summary (per-set distinct lines by last access, oldest first).
+
+    Pure: the input state is never mutated; untouched sets are shared.
+    The returned per-set dicts preserve recency order (oldest first),
+    matching :func:`~repro.sim.array_replay._lru_stream` exactly.
+    """
+    new_state = dict(state)
+    for set_index, d_lines in summary:
+        recency = new_state.get(set_index)
+        if recency:
+            dset = set(d_lines)
+            merged = [line for line in recency if line not in dset]
+            merged.extend(d_lines)
+        else:
+            merged = list(d_lines)
+        new_state[set_index] = {line: None for line in merged[-ways:]}
+    return new_state
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-worker-process state installed by :func:`_init_worker`.
+_W: dict = {}
+
+
+def _init_worker(payload: dict) -> None:
+    """Pool initializer: install the run description in this worker."""
+    from .trace import ShardedTrace
+
+    global _W
+    kernel.set_numpy_kernel(payload["numpy"])
+    state = dict(payload)
+    state["sharded"] = ShardedTrace(payload["shard_dir"])
+    state["view"] = None
+    if payload["numpy"] and kernel.HAVE_NUMPY:
+        from .columnar import columnar_view
+
+        state["view"] = columnar_view(payload["program"])
+    _W = state
+
+
+def _shard_l1_lines(index: int):
+    """The exact L1I access stream of one shard (memory-mapped ids)."""
+    from .array_replay import _gather_l1
+
+    view = _W["view"]
+    rows = view.rows_for(_W["sharded"].shard_array(index))
+    _counts, _cum, _blocks, l1_lines = _gather_l1(view, rows)
+    return l1_lines
+
+
+def _task_l1_summary(index: int) -> List[list]:
+    """Round 1: per-set distinct lines by last access, oldest first,
+    capped at the associativity (see the composition law)."""
+    import numpy as np
+
+    l1_lines = _shard_l1_lines(index)
+    geom = _W["machine"].l1i
+    # Distinct lines, most-recently-accessed first: first occurrence
+    # in the reversed stream is the last access in the forward stream.
+    reversed_lines = l1_lines[::-1]
+    uniq, first_pos = np.unique(reversed_lines, return_index=True)
+    mru_first = uniq[np.argsort(first_pos)]
+    ways = geom.ways
+    num_sets = geom.num_sets
+    buckets: Dict[int, list] = {}
+    for line in mru_first.tolist():
+        bucket = buckets.setdefault(line % num_sets, [])
+        if len(bucket) < ways:
+            bucket.append(line)
+    return [[s, bucket[::-1]] for s, bucket in buckets.items()]
+
+
+def _task_l1_scan(index: int, state_payload: list) -> Tuple[bytes, bytes]:
+    """Round 2: the exact per-access L1 sweep from the composed true
+    start state; hit/evict flags go back to the parent's fold."""
+    from .array_replay import _lru_stream
+    from .streaming import _lru_states_restore
+
+    l1_lines = _shard_l1_lines(index)
+    geom = _W["machine"].l1i
+    hits, evicts, _state = _lru_stream(
+        l1_lines.tolist(),
+        (l1_lines % geom.num_sets).tolist(),
+        geom.ways,
+        _lru_states_restore(state_payload),
+    )
+    return bytes(hits), bytes(evicts)
+
+
+def _task_ideal(index: int, reset_local: Optional[int]) -> Tuple[int, int]:
+    """Ideal-mode shard sums: (line accesses, retired instructions),
+    counted from the warmup reset when it lands in this shard."""
+    view = _W["view"]
+    rows = view.rows_for(_W["sharded"].shard_array(index))
+    if reset_local is not None:
+        rows = rows[reset_local:]
+    return (
+        int(view.line_counts[rows].sum()),
+        int(view.instruction_counts[rows].sum()),
+    )
+
+
+def _task_tolerant(index: int, reset_local: Optional[int]) -> dict:
+    """Replay one shard in a fresh simulator warmed by a prefix of the
+    preceding shard (the documented tolerant approximation)."""
+    from .cpu import CoreSimulator
+    from .stats import SHARD_FLOAT_FIELDS, SHARD_INT_FIELDS
+    from .streaming import _data_model_restore
+    from .trace import BlockTrace
+
+    sharded = _W["sharded"]
+    ids = list(sharded.shard(index).block_ids)
+    prefix: list = []
+    prefix_blocks = _W["prefix_blocks"]
+    if index > 0 and prefix_blocks > 0:
+        previous = sharded.shard(index - 1).block_ids
+        prefix = list(previous[-prefix_blocks:])
+    warmup = len(prefix) + (reset_local or 0)
+    data_model = _W["data_model"]
+    if data_model is not None:
+        # Every worker replays data traffic from the run-start RNG
+        # snapshot — part of the tolerant approximation (the exact
+        # stream position depends on all preceding shards).
+        _data_model_restore(data_model, _W["data_state"])
+    core = CoreSimulator(
+        _W["program"],
+        machine=_W["machine"],
+        plan=_W["plan"],
+        ideal=_W["ideal"],
+        hash_bits=_W["hash_bits"],
+        lbr_depth=_W["lbr_depth"],
+        track_exact_context=_W["track_exact_context"],
+        data_traffic=data_model,
+        prefetch_insertion_fraction=_W["insertion_fraction"],
+    )
+    stats = core.run(BlockTrace(prefix + ids), warmup=warmup)
+    result = {
+        name: getattr(stats, name)
+        for name in SHARD_INT_FIELDS + SHARD_FLOAT_FIELDS
+    }
+    result["miss_levels"] = dict(stats.miss_level_counts)
+    result["backend"] = core.last_replay_backend
+    return result
+
+
+_TASKS = {
+    "l1-summary": _task_l1_summary,
+    "l1-scan": _task_l1_scan,
+    "ideal": _task_ideal,
+    "tolerant": _task_tolerant,
+}
+
+
+def _pool_task(stage: str, args: tuple):
+    """Top-level pool entry: run one task, timing its busy seconds and
+    (when the parent is tracing) recording its spans for absorption."""
+    fn = _TASKS[stage]
+    started = time.perf_counter()
+    events = None
+    if _W["tracing"]:
+        tracer = Tracer(process_label="shard-worker")
+        with use_tracer(tracer):
+            with tracer.span(f"sim:parallel-{stage}", index=args[0]):
+                result = fn(*args)
+        events = tracer.snapshot()
+    else:
+        result = fn(*args)
+    return result, time.perf_counter() - started, events
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def pool_payload(core, shard_dir, mode: str, prefix_blocks: int) -> dict:
+    """The picklable run description shipped to every worker."""
+    from .streaming import _data_model_payload
+
+    return {
+        "program": core.program,
+        "machine": core.machine,
+        "shard_dir": str(shard_dir),
+        "numpy": kernel.numpy_enabled(),
+        "tracing": get_tracer().enabled,
+        "mode": mode,
+        "plan": core.plan,
+        "ideal": core.ideal,
+        "hash_bits": core.hash_bits,
+        "lbr_depth": core.lbr_depth,
+        "track_exact_context": core.track_exact_context,
+        "insertion_fraction": core.hierarchy.prefetch_insertion_fraction,
+        "data_model": core.data_traffic,
+        "data_state": _data_model_payload(core.data_traffic),
+        "prefix_blocks": prefix_blocks,
+    }
+
+
+class ShardPool:
+    """A process pool running shard tasks round by round.
+
+    ``run_round`` submits one task per argument tuple, collects the
+    results in submission order, and books the round into *perf*:
+    per-shard worker seconds (``parallel:shard``), the round's wall
+    time (``parallel:<stage>``), and the busy/idle split
+    (``parallel:busy`` / ``parallel:idle``) the ``--timing`` report
+    turns into a worker-utilization line.
+    """
+
+    def __init__(self, payload: dict, workers: int):
+        self.workers = max(1, int(workers))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+
+    def run_round(self, stage: str, argtuples, perf, tracer) -> list:
+        argtuples = list(argtuples)
+        started = time.perf_counter()
+        futures = [
+            self._pool.submit(_pool_task, stage, args) for args in argtuples
+        ]
+        results = []
+        busy = 0.0
+        for future in futures:
+            result, seconds, events = future.result()
+            busy += seconds
+            perf.add("parallel:shard", seconds)
+            if events:
+                tracer.absorb(events)
+            results.append(result)
+        wall = time.perf_counter() - started
+        perf.add(f"parallel:{stage}", wall, units=len(argtuples))
+        perf.add("parallel:busy", busy)
+        perf.add("parallel:idle", max(0.0, self.workers * wall - busy))
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.shutdown()
+        return False

@@ -394,6 +394,7 @@ def run_sharded(
     warmup: int = 0,
     shard_insns: Optional[int] = None,
     checkpointer: Optional[StoreCheckpointer] = None,
+    parallel=None,
 ) -> SimStats:
     """Replay *trace* shard by shard on *core* (a
     :class:`~repro.sim.cpu.CoreSimulator`).
@@ -406,6 +407,16 @@ def run_sharded(
     order-independent merge is the reported :class:`SimStats`, and the
     final simulator state (hierarchy, engine, fill port) is identical
     to the whole-trace replay's.
+
+    *parallel* (a :class:`~repro.sim.parallel.ParallelConfig`) fans
+    the shards across worker processes.  ``exact`` mode is
+    bit-identical and serves the no-plan columnar backends; any
+    configuration it cannot serve (observer, kernel disabled, seeded
+    state, plan-bearing engine, single shard) falls back to the
+    sequential drivers below with a ``sim:parallel-fallback`` instant.
+    ``tolerant`` mode serves every backend by replaying each shard
+    from an approximated start state — see :mod:`repro.sim.parallel`
+    for the documented tolerance; it ignores *checkpointer*.
     """
     program = core.program
     machine = core.machine
@@ -460,6 +471,23 @@ def run_sharded(
 
     num_shards = len(bounds)
 
+    # Parallel eligibility: exact mode needs the no-plan columnar
+    # fast path (the stitching proof covers exactly its L1 sweep);
+    # tolerant mode needs a replay a fresh worker simulator can
+    # reproduce (pristine state, no observer).  Ineligible requests
+    # fall back to the sequential drivers, visibly.
+    use_parallel = False
+    if parallel is not None:
+        reason = _parallel_ineligible(parallel.mode, fallback, engine)
+        if reason is None and num_shards <= 1:
+            reason = "single-shard"
+        if reason is None:
+            use_parallel = True
+        else:
+            tracer.instant(
+                "sim:parallel-fallback", mode=parallel.mode, reason=reason
+            )
+
     def shard_ids(index: int):
         start, stop = bounds[index]
         if sharded is not None:
@@ -481,7 +509,18 @@ def run_sharded(
         shards=num_shards,
         shard_insns=shard_insns,
     ) as span:
-        if fallback is not None:
+        if use_parallel:
+            if parallel.mode == "exact":
+                core.last_replay_backend = "columnar"
+                core.last_fallback_reason = None
+            _run_parallel(
+                core, view, warmup, total, bounds, shard_rows, shard_insns,
+                checkpointer, tracer, parallel, sharded, inline,
+            )
+            span.set(
+                parallel=parallel.mode, workers=parallel.resolve_workers()
+            )
+        elif fallback is not None:
             core.last_replay_backend = "reference"
             core.last_fallback_reason = fallback
             _run_reference_stream(
@@ -751,6 +790,277 @@ def _run_plan_stream(
     core.last_fallback_reason = None
     if checkpointer is not None:
         checkpointer.finalize(len(bounds))
+
+
+# -- parallel drivers --------------------------------------------------------
+
+
+def _parallel_ineligible(mode, fallback, engine) -> Optional[str]:
+    """Why a parallel request cannot be served, or None when it can.
+
+    ``exact`` requires the no-plan columnar fast path; ``tolerant``
+    requires a replay a fresh worker can reproduce, which rules out
+    observers and pre-seeded hierarchy/engine state (but not a
+    disabled kernel or a plan — workers replicate both).
+    """
+    if mode == "exact":
+        if fallback is not None:
+            return fallback
+        if engine is not None:
+            return "plan-backend"
+        return None
+    if fallback in ("observer", "state-not-pristine", "plan-ineligible"):
+        return fallback
+    return None
+
+
+def _run_parallel(
+    core, view, warmup, total, bounds, shard_rows, shard_insns,
+    checkpointer, tracer, parallel, sharded, inline,
+):
+    """Pool lifecycle shared by the parallel drivers: workers consume
+    an on-disk shard directory, so an in-memory trace is first written
+    out (to a temporary directory, removed when the run ends)."""
+    import shutil
+    import tempfile
+
+    from .. import perf as perf_mod
+    from .parallel import ShardPool, pool_payload
+    from .trace import write_trace_shards
+
+    perf = perf_mod.registry(parallel.perf)
+    tmp = None
+    try:
+        if sharded is not None:
+            shard_dir = sharded.directory
+        else:
+            tmp = tempfile.mkdtemp(prefix="repro-parallel-shards-")
+            with perf.stage("parallel:write-shards", units=len(bounds)):
+                write_trace_shards(inline, core.program, tmp, shard_insns)
+            shard_dir = tmp
+        payload = pool_payload(
+            core, shard_dir, parallel.mode, parallel.prefix_blocks
+        )
+        with ShardPool(payload, parallel.resolve_workers()) as pool:
+            if parallel.mode == "tolerant":
+                if checkpointer is not None:
+                    tracer.instant("sim:parallel-no-checkpoint")
+                _run_parallel_tolerant(
+                    core, warmup, total, bounds, tracer, pool, perf
+                )
+            elif core.ideal:
+                _run_parallel_ideal(
+                    core, view, warmup, total, bounds, shard_insns,
+                    checkpointer, tracer, pool, perf,
+                )
+            else:
+                _run_parallel_array(
+                    core, view, warmup, total, bounds, shard_rows,
+                    shard_insns, checkpointer, tracer, pool, perf,
+                )
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _run_parallel_array(
+    core, view, warmup, total, bounds, shard_rows, shard_insns,
+    checkpointer, tracer, pool, perf,
+):
+    """Exact parallel no-plan replay: two worker rounds, then the
+    unchanged sequential fold (see :mod:`repro.sim.parallel` for the
+    composition law that makes round 2's start states exact).
+
+    Checkpoints are written per shard in the identical sequential
+    format, so a killed parallel run resumes sequentially and vice
+    versa."""
+    from .array_replay import ArrayCarry, array_finish, array_shard_replay
+    from .parallel import compose_lru_state
+
+    stats = core.stats
+    machine = core.machine
+    eff = warmup if 0 < warmup < total else 0
+    cpi = 1.0 / machine.base_ipc
+    carry = ArrayCarry()
+    merged = ShardStats.identity()
+    prev = SimStats()
+    start_shard = 0
+    resumed = _load_checkpoint(
+        checkpointer, "columnar", len(bounds), shard_insns,
+        core.data_traffic,
+    )
+    if resumed is not None:
+        start_shard, merged, carry_payload = resumed
+        carry = _array_carry_restore(carry_payload)
+        start_shard += 1
+        prev = _array_snapshot(carry, cpi)
+
+    remaining = list(range(start_shard, len(bounds)))
+    ways = machine.l1i.ways
+    summaries = pool.run_round(
+        "l1-summary", [(index,) for index in remaining], perf, tracer
+    )
+    states = {start_shard: carry.l1_state}
+    for index, summary in zip(remaining, summaries):
+        states[index + 1] = compose_lru_state(states[index], summary, ways)
+    scans = pool.run_round(
+        "l1-scan",
+        [(index, _lru_states_payload(states[index])) for index in remaining],
+        perf,
+        tracer,
+    )
+    for index, (l1_hits, l1_evicts) in zip(remaining, scans):
+        start, _stop = bounds[index]
+        with tracer.span("sim:shard", index=index, offset=start,
+                         parallel=True):
+            array_shard_replay(
+                view,
+                shard_rows(index),
+                machine,
+                carry,
+                data_traffic=core.data_traffic,
+                offset=start,
+                eff=eff,
+                l1_precomputed=(
+                    l1_hits, l1_evicts, states[index + 1]
+                ),
+            )
+        cur = _array_snapshot(carry, cpi)
+        merged = merged.merge(ShardStats.delta(index, prev, cur))
+        prev = cur
+        if checkpointer is not None:
+            checkpointer.save(
+                index,
+                _checkpoint(
+                    "columnar", index, len(bounds), shard_insns, merged,
+                    _array_carry_payload(carry), core.data_traffic,
+                ),
+            )
+    array_finish(carry, machine, stats, core.hierarchy)
+    _apply_merged(stats, merged)
+    if checkpointer is not None:
+        checkpointer.finalize(len(bounds))
+
+
+def _run_parallel_ideal(
+    core, view, warmup, total, bounds, shard_insns, checkpointer, tracer,
+    pool, perf,
+):
+    """Exact parallel ideal replay: workers sum each shard's counters
+    (post-reset when the warmup boundary lands inside), the parent
+    replays the sequential accumulate-or-reset fold over the sums."""
+    stats = core.stats
+    eff = warmup if 0 < warmup < total else 0
+    cpi = 1.0 / core.machine.base_ipc
+    acc_l1i = 0
+    acc_pi = 0
+    merged = ShardStats.identity()
+    prev = SimStats()
+    start_shard = 0
+    resumed = _load_checkpoint(
+        checkpointer, "columnar-ideal", len(bounds), shard_insns, None
+    )
+    if resumed is not None:
+        start_shard, merged, carry_payload = resumed
+        acc_l1i = int(carry_payload["l1i_accesses"])
+        acc_pi = int(carry_payload["program_instructions"])
+        start_shard += 1
+        prev = SimStats()
+        prev.l1i_accesses = acc_l1i
+        prev.program_instructions = acc_pi
+        prev.compute_cycles = acc_pi * cpi
+
+    remaining = list(range(start_shard, len(bounds)))
+    resets = {}
+    for index in remaining:
+        start, stop = bounds[index]
+        resets[index] = eff - start if start <= eff < stop else None
+    sums = pool.run_round(
+        "ideal", [(index, resets[index]) for index in remaining],
+        perf, tracer,
+    )
+    for index, (sum_l1i, sum_pi) in zip(remaining, sums):
+        if resets[index] is None:
+            acc_l1i += sum_l1i
+            acc_pi += sum_pi
+        else:
+            acc_l1i = sum_l1i
+            acc_pi = sum_pi
+        cur = SimStats()
+        cur.l1i_accesses = acc_l1i
+        cur.program_instructions = acc_pi
+        cur.compute_cycles = acc_pi * cpi
+        merged = merged.merge(ShardStats.delta(index, prev, cur))
+        prev = cur
+        if checkpointer is not None:
+            checkpointer.save(
+                index,
+                _checkpoint(
+                    "columnar-ideal", index, len(bounds), shard_insns,
+                    merged, _ideal_carry_payload((acc_l1i, acc_pi)), None,
+                ),
+            )
+    stats.clear()
+    stats.l1i_accesses = acc_l1i
+    stats.program_instructions = acc_pi
+    stats.compute_cycles = acc_pi * cpi
+    _apply_merged(stats, merged)
+    if checkpointer is not None:
+        checkpointer.finalize(len(bounds))
+
+
+def _run_parallel_tolerant(core, warmup, total, bounds, tracer, pool, perf):
+    """Tolerant parallel replay: every shard in a fresh worker
+    simulator warmed by a short prefix of its predecessor.
+
+    Shards entirely inside the warmup region contribute identity
+    partials (the merge still needs their indices for adjacency) but
+    dispatch no worker task.  Worker statistics are folded into
+    running cumulative snapshots so the standard :class:`ShardStats`
+    delta/merge algebra applies unchanged.  The final hierarchy and
+    engine are left cold — stats-only, per the documented tolerance.
+    """
+    stats = core.stats
+    eff = warmup if 0 < warmup < total else 0
+    executed = []
+    tasks = []
+    for index, (start, stop) in enumerate(bounds):
+        if stop <= eff:
+            continue
+        executed.append(index)
+        tasks.append(
+            (index, eff - start if start <= eff < stop else None)
+        )
+    results = pool.run_round("tolerant", tasks, perf, tracer)
+    by_index = dict(zip(executed, results))
+    merged = ShardStats.identity()
+    prev = SimStats()
+    backend = core.last_replay_backend
+    totals = SimStats()
+    for index in range(len(bounds)):
+        payload = by_index.get(index)
+        if payload is not None:
+            for name in SHARD_INT_FIELDS:
+                setattr(
+                    totals, name, getattr(totals, name) + int(payload[name])
+                )
+            for name in SHARD_FLOAT_FIELDS:
+                setattr(
+                    totals, name,
+                    getattr(totals, name) + float(payload[name]),
+                )
+            for level, count in payload["miss_levels"].items():
+                totals.miss_level_counts[level] = (
+                    totals.miss_level_counts.get(level, 0) + count
+                )
+            backend = payload["backend"]
+        cur = _copy_stats(totals)
+        merged = merged.merge(ShardStats.delta(index, prev, cur))
+        prev = cur
+    stats.clear()
+    _apply_merged(stats, merged)
+    core.last_replay_backend = backend
+    core.last_fallback_reason = None
 
 
 # -- profiler streaming ------------------------------------------------------

@@ -14,7 +14,7 @@ from repro.analysis.experiments import (
     Evaluator,
     ExperimentSettings,
 )
-from repro.analysis.jobs import resolve_jobs
+from repro.analysis.jobs import resolve_jobs, split_worker_budget
 from repro.io import ArtifactStore, stats_to_record
 from repro.perf import PerfRegistry
 from repro.runconfig import RunConfig
@@ -180,6 +180,66 @@ def test_resolve_jobs():
     assert resolve_jobs(0) >= 1
     assert resolve_jobs(None) >= 1
     assert resolve_jobs(-2) >= 1
+
+
+class TestWorkerBudget:
+    """One budget shared by --jobs and --parallel-shards pools."""
+
+    def test_no_budget_resolves_independently(self):
+        jobs, shard_workers = split_worker_budget(2, 3, None)
+        assert (jobs, shard_workers) == (2, 3)
+
+    def test_budget_split_evenly(self):
+        assert split_worker_budget(2, None, 8) == (2, 4)
+        assert split_worker_budget(1, None, 8) == (1, 8)
+        assert split_worker_budget(3, None, 8) == (3, 2)
+
+    def test_jobs_alone_oversubscribing_warns_and_floors_shards(self):
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            jobs, shard_workers = split_worker_budget(4, None, 2)
+        assert (jobs, shard_workers) == (4, 1)
+
+    def test_requested_shard_workers_clamped_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            jobs, shard_workers = split_worker_budget(2, 8, 8)
+        assert (jobs, shard_workers) == (2, 4)
+
+    def test_within_budget_passes_through_silently(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert split_worker_budget(2, 3, 8) == (2, 3)
+
+    def test_both_flags_set_together_end_to_end(self):
+        """--jobs 2 --shard-insns N --parallel-shards exact
+        --worker-budget 2: the sweep fans out *and* each worker's
+        shard pool respects its one-process share, bit-identically."""
+        config = RunConfig(
+            settings=SETTINGS,
+            jobs=2,
+            shard_insns=4_000,
+            parallel_shards="exact",
+            worker_budget=2,
+        )
+        evaluator = Evaluator(config=config)
+        assert evaluator.parallel is not None
+        assert evaluator.parallel.mode == "exact"
+        assert evaluator.parallel.resolve_workers() == 1
+        evaluator.prewarm(apps=["wordpress"], variants=("baseline", "ideal"))
+        serial = Evaluator(SETTINGS)
+        for variant in ("baseline", "ideal"):
+            assert (
+                stats_to_record(evaluator["wordpress"].stats_for(variant))
+                == stats_to_record(serial["wordpress"].stats_for(variant))
+            ), f"{variant} diverged under jobs x parallel-shards"
+
+    def test_parallel_without_shards_warns_and_stays_sequential(self):
+        with pytest.warns(RuntimeWarning, match="requires shard_insns"):
+            evaluator = Evaluator(
+                config=RunConfig(settings=SETTINGS, parallel_shards="exact")
+            )
+        assert evaluator.parallel is None
 
 
 def test_default_prewarm_variants_are_known():

@@ -21,6 +21,7 @@ from repro import kernel
 from repro.sim.columnar import columnar_view
 from repro.sim.cpu import CoreSimulator
 from repro.sim.datatraffic import make_data_traffic
+from repro.sim.parallel import ParallelConfig, compose_lru_state
 from repro.sim.trace import (
     ShardedTrace,
     shard_bounds,
@@ -50,7 +51,7 @@ def _gate(backend):
 
 
 def _replay(program, trace, backend, plan=None, ideal=False,
-            traffic_seed=None, warmup=0, shard_insns=None):
+            traffic_seed=None, warmup=0, shard_insns=None, parallel=None):
     data_traffic = None
     if traffic_seed is not None:
         data_traffic = make_data_traffic(
@@ -60,7 +61,8 @@ def _replay(program, trace, backend, plan=None, ideal=False,
         core = CoreSimulator(
             program, plan=plan, data_traffic=data_traffic, ideal=ideal
         )
-        stats = core.run(trace, warmup=warmup, shard_insns=shard_insns)
+        stats = core.run(trace, warmup=warmup, shard_insns=shard_insns,
+                         parallel=parallel)
     return core, stats
 
 
@@ -212,6 +214,197 @@ class TestShardCut:
             shard_bounds([1, 2, 3], 0)
 
 
+#: The four replay backend configurations: the pure-Python reference
+#: loop, the no-plan columnar kernel, the columnar-ideal path, and the
+#: plan-bearing columnar path (exact mode serves the two no-plan
+#: columnar ones in parallel; the rest must fall back unchanged).
+PARALLEL_CONFIGS = {
+    "reference": dict(backend="reference"),
+    "columnar": dict(backend="columnar", traffic_seed=321, warmup=60),
+    "columnar-ideal": dict(backend="columnar", ideal=True, warmup=60),
+    "columnar-plan": dict(backend="columnar", plan=True),
+}
+
+#: 1 worker, 2 workers, and "many" relative to the 2-3 shard budgets.
+WORKER_COUNTS = (1, 2, 4)
+
+
+class TestParallel:
+    """Parallel-vs-sequential differential sweep (PR 6 tentpole).
+
+    Exact mode must be ``==`` sequential sharded replay — statistics,
+    final cache residency and engine state — whether it runs the
+    two-round stitched executor or falls back (plan backends,
+    disabled kernel, single shard).  Tolerant mode must respect its
+    documented contract: exact instruction/access counters and an L1
+    miss over-count bounded by ``(num_shards - 1) * capacity``.
+    """
+
+    def _case(self, config_name, length=360):
+        spec = dict(PARALLEL_CONFIGS[config_name])
+        rng = random.Random(hash(config_name) % 10_000)
+        program = make_random_program(rng, n_blocks=40)
+        trace = make_random_trace(rng, 40, length=length, fanout=3)
+        if spec.pop("plan", False):
+            spec["plan"] = make_random_plan(rng, program, n_sites=6)
+        return program, trace, spec
+
+    @pytest.mark.parametrize("config_name", sorted(PARALLEL_CONFIGS))
+    def test_exact_bit_identity_sweep(self, config_name):
+        """shard sizes {1, 37, whole} x worker counts {1, 2, 4}."""
+        program, trace, spec = self._case(config_name)
+        ideal = spec.get("ideal", False)
+        for shard_insns in SHARD_SIZES:
+            seq_core, seq_stats = _replay(
+                program, trace, shard_insns=shard_insns, **spec
+            )
+            for workers in WORKER_COUNTS:
+                core, stats = _replay(
+                    program, trace, shard_insns=shard_insns,
+                    parallel=ParallelConfig(mode="exact", workers=workers),
+                    **spec,
+                )
+                context = (
+                    f"config={config_name} shard_insns={shard_insns} "
+                    f"workers={workers}"
+                )
+                assert stats == seq_stats, context
+                assert core.last_replay_backend == (
+                    seq_core.last_replay_backend
+                ), context
+                if not ideal:
+                    assert hierarchy_state(core) == hierarchy_state(
+                        seq_core
+                    ), context
+                assert engine_state(core) == engine_state(seq_core), context
+
+    @pytest.mark.parametrize("config_name", sorted(PARALLEL_CONFIGS))
+    def test_tolerant_contract(self, config_name):
+        """Exact counter fields match; L1 misses stay within the
+        documented per-boundary cold-miss bound."""
+        program, trace, spec = self._case(config_name)
+        shard_insns = 37
+        seq_core, seq_stats = _replay(
+            program, trace, shard_insns=shard_insns, **spec
+        )
+        core, stats = _replay(
+            program, trace, shard_insns=shard_insns,
+            parallel=ParallelConfig(mode="tolerant", workers=2),
+            **spec,
+        )
+        assert stats.program_instructions == seq_stats.program_instructions
+        assert stats.l1i_accesses == seq_stats.l1i_accesses
+        assert stats.prefetch_instructions_executed == (
+            seq_stats.prefetch_instructions_executed
+        )
+        num_shards = len(trace_shard_bounds(trace, program, shard_insns))
+        geometry = seq_core.machine.l1i
+        bound = (num_shards - 1) * geometry.num_sets * geometry.ways
+        assert abs(stats.l1i_misses - seq_stats.l1i_misses) <= bound
+        if spec.get("plan") is None and not spec.get("ideal", False):
+            # pure LRU: a cold boundary can only ever add misses
+            assert stats.l1i_misses >= seq_stats.l1i_misses
+
+    def test_single_shard_falls_back_to_sequential(self):
+        """A one-shard trace never pays for a pool."""
+        rng = random.Random(77)
+        program = make_random_program(rng, n_blocks=24)
+        trace = make_random_trace(rng, 24, length=200)
+        seq_core, seq_stats = _replay(
+            program, trace, "columnar", shard_insns=10**9
+        )
+        core, stats = _replay(
+            program, trace, "columnar", shard_insns=10**9,
+            parallel=ParallelConfig(mode="exact", workers=4),
+        )
+        assert stats == seq_stats
+        assert hierarchy_state(core) == hierarchy_state(seq_core)
+
+    @pytest.mark.parametrize("mode", ("exact", "tolerant"))
+    def test_on_disk_sharded_trace(self, mode, tmp_path):
+        """Workers consume the on-disk shard format directly."""
+        rng = random.Random(88)
+        program = make_random_program(rng, n_blocks=40)
+        trace = make_random_trace(rng, 40, length=500, fanout=3)
+        total = sum(
+            program.block(b).instruction_count for b in trace.block_ids
+        )
+        sharded = write_trace_shards(trace, program, tmp_path, total // 8)
+        _seq_core, seq_stats = _replay(
+            program, trace, "columnar", shard_insns=total // 8
+        )
+        with kernel.force_numpy_kernel():
+            core = CoreSimulator(program)
+            stats = core.run(
+                sharded, parallel=ParallelConfig(mode=mode, workers=2)
+            )
+        if mode == "exact":
+            assert stats == seq_stats
+        else:
+            assert stats.program_instructions == (
+                seq_stats.program_instructions
+            )
+            assert stats.l1i_accesses == seq_stats.l1i_accesses
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(mode="sloppy")
+
+
+class TestComposeLRUState:
+    """The stitching law against the real per-access LRU sweep."""
+
+    @staticmethod
+    def _summary_of(lines, sets, ways):
+        """A shard's per-set distinct-lines-by-last-access summary,
+        built naively (the worker builds it vectorized)."""
+        per_set = {}
+        for line, set_index in zip(lines, sets):
+            bucket = per_set.setdefault(set_index, [])
+            if line in bucket:
+                bucket.remove(line)
+            bucket.append(line)
+        return [[s, bucket[-ways:]] for s, bucket in per_set.items()]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_lru_stream_exactly(self, seed):
+        """Composing a shard's summary onto any start state yields the
+        same end state — same lines, same recency order, same dict
+        insertion order — as streaming every access through the LRU."""
+        from repro.sim.array_replay import _lru_stream
+
+        rng = random.Random(400 + seed)
+        num_sets, ways = 8, rng.choice((2, 4))
+        state = {}
+        chunks = []
+        for _ in range(4):
+            lines = [rng.randrange(64) for _ in range(rng.randint(1, 120))]
+            chunks.append(lines)
+        for lines in chunks:
+            sets = [line % num_sets for line in lines]
+            _hits, _evicts, streamed = _lru_stream(
+                lines, sets, ways,
+                {k: dict(v) for k, v in state.items()},
+            )
+            composed = compose_lru_state(
+                state, self._summary_of(lines, sets, ways), ways
+            )
+            assert {
+                k: list(v) for k, v in streamed.items() if v
+            } == {k: list(v) for k, v in composed.items() if v}
+            state = composed
+
+    def test_empty_summary_is_identity(self):
+        state = {0: {5: None, 9: None}}
+        assert compose_lru_state(state, [], 4) == state
+
+    def test_pure_no_input_mutation(self):
+        state = {0: {1: None, 2: None}}
+        before = {k: list(v) for k, v in state.items()}
+        compose_lru_state(state, [[0, [3, 4]], [1, [7]]], 2)
+        assert {k: list(v) for k, v in state.items()} == before
+
+
 class TestOnDiskShards:
     """write_trace_shards / ShardedTrace round trip and replay."""
 
@@ -227,6 +420,19 @@ class TestOnDiskShards:
         materialized = reread.materialize()
         assert materialized.block_ids == trace.block_ids
         assert materialized.metadata == trace.metadata
+
+    def test_shard_array_matches_shard(self, tmp_path):
+        """The memory-mapped column view agrees with the materialized
+        BlockTrace for every shard."""
+        rng = random.Random(13)
+        program = make_random_program(rng, n_blocks=32)
+        trace = make_random_trace(rng, 32, length=300)
+        sharded = write_trace_shards(trace, program, tmp_path, 40)
+        for index in range(sharded.num_shards):
+            assert (
+                sharded.shard_array(index).tolist()
+                == sharded.shard(index).block_ids
+            )
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_on_disk_replay_with_at_least_eight_shards(

@@ -226,6 +226,41 @@ class TestShardedResumeInvariants:
             )
         assert resumed == whole
 
+    @given(programs_with_traces(), st.integers(1, 4), st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_killed_parallel_run_resumes_to_identical_result(
+        self, case, kill_at, resume_parallel
+    ):
+        """Exact parallel replay writes the sequential checkpoint
+        format: killing the pooled run mid-flight and resuming — with
+        either executor — converges on the whole-trace statistics."""
+        from repro.sim.parallel import ParallelConfig
+
+        program, trace = case
+        whole = simulate(program, trace)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            parts = {"case": "parallel-resume"}
+            try:
+                CoreSimulator(program).run(
+                    trace, shard_insns=25,
+                    checkpointer=_KillAfter(store, parts, kill_at),
+                    parallel=ParallelConfig(mode="exact", workers=2),
+                )
+            except KeyboardInterrupt:
+                pass
+            resumed = CoreSimulator(program).run(
+                trace, shard_insns=25,
+                checkpointer=StoreCheckpointer(store, parts),
+                parallel=(
+                    ParallelConfig(mode="exact", workers=2)
+                    if resume_parallel
+                    else None
+                ),
+            )
+        assert resumed == whole
+
 
 class TestMachineInvariants:
     @given(
