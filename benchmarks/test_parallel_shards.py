@@ -16,18 +16,27 @@ therefore split into two clearly separated sections:
 * ``measured`` — actual wall times observed on this host, including
   the 1-worker decomposition into parallelizable worker-busy seconds
   and inherently serial parent seconds (pool round wall vs total
-  wall).  Exact-mode runs are asserted bit-identical to sequential;
+  wall).  On hosts with more than one CPU the sweep extends to real
+  multi-worker runs and records their measured speedups alongside the
+  model.  Exact-mode runs are asserted bit-identical to sequential;
   tolerant runs are asserted to obey the documented tolerance.
 * ``projection`` — an Amdahl model ``t(n) = serial + busy / n`` built
   from that measured decomposition.  It is a model, not a measurement,
   and is labeled as such in the JSON.
 
-The decomposition also records *why* the two modes scale differently:
-exact mode only ships the L1 LRU sweep to workers (the parent fold
-still replays L2/L3 and the accounting serially, bounding its
-projected speedup well below the tolerant mode's), while tolerant mode
-runs entire fresh simulators in workers and its serial fraction is the
-stats merge — well under 1% of sequential time.
+The decomposition records what each mode leaves serial.  Exact mode
+runs the summarize / compose / scan rounds for **every** cache level
+(``l1-summary``, ``l1-scan``, ``l2-scan``, ``l3-scan``) in workers and
+ships the accounting back as per-shard deltas.  The per-shard fix-up
+fold (counter deltas, the order-dependent float timing chain,
+checkpoint IO) is consumed as each l3-scan result lands, so it
+overlaps the round instead of trailing it — but it still runs in the
+parent, so the projection floors the round time at the fold's own
+duration.  What remains strictly serial is LRU-state composition
+between rounds plus argument marshalling and the data-traffic
+pre-decode.  Tolerant mode runs entire fresh simulators in workers and
+its serial fraction is the stats merge — well under 1% of sequential
+time.
 """
 
 from __future__ import annotations
@@ -52,6 +61,20 @@ NUM_SHARDS = 16
 SEQ_REPEATS = 3
 PAR_REPEATS = 2
 PROJECTED_WORKERS = (2, 4, 8, 16)
+
+#: The worker-pool rounds per mode — the parallelizable part of the
+#: wall.  Everything else the parent does (compose, the accounting
+#: fold, the float timing chain, checkpoint IO, and the data-traffic
+#: pre-decode when a workload has one) is counted as serial.
+ROUND_STAGES = {
+    "exact": (
+        "parallel:l1-summary",
+        "parallel:l1-scan",
+        "parallel:l2-scan",
+        "parallel:l3-scan",
+    ),
+    "tolerant": ("parallel:tolerant",),
+}
 
 
 def _best_sequential(program, sharded):
@@ -87,12 +110,7 @@ def _best_parallel(program, sharded, mode, workers):
 
 
 def _rounds_wall(registry, mode):
-    stages = (
-        ("parallel:l1-summary", "parallel:l1-scan")
-        if mode == "exact"
-        else ("parallel:tolerant",)
-    )
-    return sum(registry.seconds(stage) for stage in stages)
+    return sum(registry.seconds(stage) for stage in ROUND_STAGES[mode])
 
 
 def test_parallel_shards(results_dir, tmp_path_factory):
@@ -106,13 +124,23 @@ def test_parallel_shards(results_dir, tmp_path_factory):
     write_trace_shards(trace, program, shard_dir, total // NUM_SHARDS)
     sharded = ShardedTrace(shard_dir)
 
+    # single-CPU hosts stop at 2 workers (the walls only demonstrate
+    # overhead there); real multi-core hosts extend the sweep so the
+    # JSON carries *measured* multi-worker speedups next to the model
+    cpus = os.cpu_count() or 1
+    measured_workers = [1, 2]
+    if cpus > 1:
+        measured_workers += [
+            n for n in (4, 8) if n <= max(cpus, 4) and n not in measured_workers
+        ]
+
     with kernel.force_numpy_kernel():
         t_seq, seq = _best_sequential(program, sharded)
         modes = {}
         for mode in ("exact", "tolerant"):
             walls = {}
             decomposition = None
-            for workers in (1, 2):
+            for workers in measured_workers:
                 wall, stats, registry = _best_parallel(
                     program, sharded, mode, workers
                 )
@@ -138,6 +166,12 @@ def test_parallel_shards(results_dir, tmp_path_factory):
                         "busy_seconds": busy,
                         "rounds_wall_seconds": rounds,
                         "serial_seconds": wall - rounds,
+                        "serial_fraction": (wall - rounds) / wall,
+                        # the accounting fold overlaps the l3-scan round
+                        # (its wall hides inside rounds_wall) but runs in
+                        # the parent, so no worker count compresses it —
+                        # the projection floors round time at this value
+                        "fold_seconds": registry.seconds("parallel:fold"),
                         "utilization": registry.worker_utilization(),
                     }
                     if mode == "tolerant":
@@ -147,8 +181,10 @@ def test_parallel_shards(results_dir, tmp_path_factory):
                         decomposition["l1i_misses_bound"] = bound
             serial = decomposition["serial_seconds"]
             busy = decomposition["busy_seconds"]
+            fold = decomposition["fold_seconds"]
             projected = {
-                n: t_seq / (serial + busy / n) for n in PROJECTED_WORKERS
+                n: t_seq / (serial + max(busy / n, fold))
+                for n in PROJECTED_WORKERS
             }
             modes[mode] = {
                 "measured_walls": {str(k): v for k, v in walls.items()},
@@ -157,16 +193,29 @@ def test_parallel_shards(results_dir, tmp_path_factory):
                     str(n): s for n, s in projected.items()
                 },
             }
+            if cpus > 1:
+                # real walls, not the model — only meaningful with >1 CPU
+                modes[mode]["measured_speedup"] = {
+                    str(k): t_seq / v for k, v in walls.items() if k > 1
+                }
             # scaling sanity: the model must improve monotonically with
             # workers, and tolerant mode — whose serial part is only the
             # stats merge — must project a clear parallel win
             speedups = [projected[n] for n in PROJECTED_WORKERS]
             assert speedups == sorted(speedups)
         assert modes["tolerant"]["projected_speedup"]["8"] > 2.0
+        # the multi-level decomposition's acceptance bar: the parent's
+        # serial remainder (compose + fold + timing chain + checkpoints)
+        # stays under 15% of the 1-worker wall, projecting >= 3x at 8
+        exact = modes["exact"]
+        assert exact["decomposition"]["serial_fraction"] < 0.15, (
+            "exact-mode parent fold grew back above 15% serial"
+        )
+        assert exact["projected_speedup"]["8"] > 3.0
 
     payload = {
         "host": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpus,
             "python": sys.version.split()[0],
         },
         "workload": {
@@ -184,20 +233,32 @@ def test_parallel_shards(results_dir, tmp_path_factory):
         "projection": {
             "method": (
                 "Amdahl from the 1-worker decomposition: "
-                "t(n) = serial + busy/n, speedup(n) = sequential / t(n); "
-                "serial = wall - pool-round wall, busy = worker task "
-                "seconds (parallel:busy)"
+                "t(n) = serial + max(busy/n, fold), "
+                "speedup(n) = sequential / t(n); serial = wall - "
+                "pool-round wall, busy = worker task seconds "
+                "(parallel:busy), fold = the parent's accounting fold "
+                "(parallel:fold), which overlaps the l3-scan round but "
+                "cannot compress below its own duration"
             ),
             "caveat": (
                 "projected, not measured: this host has "
-                f"{os.cpu_count()} CPU(s), so real multi-worker walls "
-                "cannot demonstrate speedup here"
+                f"{cpus} CPU(s)"
+                + (
+                    "; measured_speedup entries are real walls"
+                    if cpus > 1
+                    else ", so real multi-worker walls cannot "
+                    "demonstrate speedup here"
+                )
             ),
-            "exact_mode_bound": (
-                "exact mode parallelizes only the L1 LRU sweep; the "
-                "parent fold still replays L2/L3 and the accounting "
-                "serially, so its projection saturates near "
-                "sequential/serial regardless of worker count"
+            "exact_mode_serial_remainder": (
+                "exact mode runs summarize/compose/scan rounds for all "
+                "three cache levels in workers and ships the accounting "
+                "back as per-shard deltas; the fix-up fold (counter "
+                "deltas, the order-dependent float timing chain, "
+                "checkpoint IO) overlaps the l3-scan round but is "
+                "parent-serial, so projections floor round time at its "
+                "duration; strictly serial work is LRU-state composition "
+                "between rounds plus argument marshalling"
             ),
         },
     }
@@ -226,7 +287,7 @@ def test_parallel_shards(results_dir, tmp_path_factory):
     table = render_table(
         rows,
         title=(
-            f"parallel sharded replay (cpu_count={os.cpu_count()}; "
+            f"parallel sharded replay (cpu_count={cpus}; "
             "projections are Amdahl models, not measurements)"
         ),
     )

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI guard against parallel-replay speedup regressions.
+
+Compares a freshly generated ``BENCH_parallel_shards.json`` against
+the copy committed at ``HEAD`` and fails when the exact-mode
+*projected 8-worker speedup* — the headline number of the multi-level
+round decomposition — drops below ``--min-ratio`` of the committed
+value.  The projection is a 1-worker Amdahl model (see the benchmark
+module), so it is stable across host core counts; the ratio guard
+absorbs ordinary timer noise while catching structural regressions
+(serial work creeping back into the parent).
+
+Usage::
+
+    python -m pytest benchmarks/test_parallel_shards.py -x -q
+    python scripts/bench_diff.py [--fresh PATH] [--committed PATH]
+        [--min-ratio 0.9]
+
+When ``--committed`` is not given, the committed baseline is read via
+``git show HEAD:benchmarks/results/BENCH_parallel_shards.json``.  A
+missing committed baseline (first commit of the benchmark) passes
+with a notice instead of failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_RELPATH = "benchmarks/results/BENCH_parallel_shards.json"
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=os.path.join(REPO, BENCH_RELPATH),
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--committed", default=None,
+                        help="baseline JSON (default: HEAD's copy via git)")
+    parser.add_argument("--min-ratio", type=float, default=0.9,
+                        help="fail when fresh/committed drops below this")
+    return parser.parse_args(argv)
+
+
+def projected_8w_exact(payload: dict) -> float:
+    return float(
+        payload["measured"]["modes"]["exact"]["projected_speedup"]["8"]
+    )
+
+
+def load_committed(path):
+    if path is not None:
+        with open(path) as handle:
+            return json.load(handle)
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{BENCH_RELPATH}"],
+        cwd=REPO, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    committed = load_committed(args.committed)
+    if committed is None:
+        print("bench-diff: no committed baseline at "
+              f"HEAD:{BENCH_RELPATH}; nothing to compare against")
+        return 0
+
+    fresh_speedup = projected_8w_exact(fresh)
+    committed_speedup = projected_8w_exact(committed)
+    ratio = fresh_speedup / committed_speedup
+    verdict = "ok" if ratio >= args.min_ratio else "REGRESSED"
+    print(f"bench-diff: exact projected 8-worker speedup "
+          f"{fresh_speedup:.2f}x vs committed {committed_speedup:.2f}x "
+          f"(ratio {ratio:.3f}, floor {args.min_ratio}) [{verdict}]")
+    if ratio < args.min_ratio:
+        print("bench-diff: FAILED — the parallel executor's projected "
+              "speedup regressed against the committed baseline; either "
+              "fix the serial-work regression or consciously recommit "
+              "the benchmark JSON with justification", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

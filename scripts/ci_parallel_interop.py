@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI check: exact-mode multi-worker bit-identity and checkpoint interop.
+
+Drives the wordpress workload through three executors and asserts the
+exact parallel executor's two contracts on a real (non-synthetic)
+trace:
+
+1. **Bit-identity** — an exact-mode 2-worker sharded replay produces
+   statistics ``==`` to the sequential sharded replay (every counter,
+   cycle count and residency map, not a tolerance).
+2. **Checkpoint interop** — checkpoints written by the parallel
+   executor are the ordinary sequential format: a parallel run killed
+   mid-flight resumes under the *sequential* executor (and vice
+   versa) to the same bit-identical result.
+
+The Hypothesis suite proves the same properties on randomized
+programs (``tests/test_properties.py``); this script pins them on the
+paper workload CI actually measures, as a cheap standalone gate.
+
+Exits 0 on success and on hosts without numpy (the exact executor
+requires the columnar kernel and falls back to sequential streaming
+without it, making the check vacuous).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+EVAL_LENGTH = 60_000
+WARMUP = 6_000
+NUM_SHARDS = 8
+WORKERS = 2
+KILL_AT = 3
+
+
+class _KillAfter:
+    """Checkpointer proxy that dies after its k-th successful save."""
+
+    def __init__(self, inner, kill_at):
+        self.inner = inner
+        self.kill_at = kill_at
+        self.saves = 0
+
+    def load_latest(self, *args, **kwargs):
+        return self.inner.load_latest(*args, **kwargs)
+
+    def save(self, index, payload):
+        self.inner.save(index, payload)
+        self.saves += 1
+        if self.saves >= self.kill_at:
+            raise KeyboardInterrupt("simulated crash")
+
+
+def main():
+    from repro import kernel
+
+    if not kernel.HAVE_NUMPY:
+        print("parallel-interop: numpy unavailable; the exact executor "
+              "cannot run — skipping")
+        return 0
+
+    from repro.analysis.experiments import Evaluator, ExperimentSettings
+    from repro.io import ArtifactStore
+    from repro.sim.cpu import CoreSimulator
+    from repro.sim.parallel import ParallelConfig
+    from repro.sim.streaming import StoreCheckpointer
+
+    evaluation = Evaluator(ExperimentSettings(eval_length=EVAL_LENGTH))[
+        "wordpress"
+    ]
+    program = evaluation.app.program
+    trace = evaluation.eval_trace
+    shard_insns = trace.instruction_count(program) // NUM_SHARDS
+
+    def run(parallel=None, checkpointer=None):
+        return CoreSimulator(program).run(
+            trace, warmup=WARMUP, shard_insns=shard_insns,
+            parallel=parallel, checkpointer=checkpointer,
+        )
+
+    exact = ParallelConfig(mode="exact", workers=WORKERS)
+
+    sequential = run()
+    assert run(parallel=exact) == sequential, (
+        f"exact mode diverged from sequential at workers={WORKERS}"
+    )
+    print(f"parallel-interop: exact workers={WORKERS} bit-identical to "
+          f"sequential ({sequential.program_instructions} instructions, "
+          f"{NUM_SHARDS} shards)")
+
+    # parallel writes, sequential resumes — and the reverse
+    for first, then in (("parallel", "sequential"),
+                        ("sequential", "parallel")):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ArtifactStore(tmp)
+            parts = {"case": f"interop-{first}-to-{then}"}
+            try:
+                run(
+                    parallel=exact if first == "parallel" else None,
+                    checkpointer=_KillAfter(
+                        StoreCheckpointer(store, parts), KILL_AT
+                    ),
+                )
+            except KeyboardInterrupt:
+                pass
+            else:
+                raise AssertionError("the kill checkpointer never fired")
+            resumed = run(
+                parallel=exact if then == "parallel" else None,
+                checkpointer=StoreCheckpointer(store, parts),
+            )
+            assert resumed == sequential, (
+                f"{first} run killed after {KILL_AT} checkpoints did not "
+                f"resume bit-identically under the {then} executor"
+            )
+            print(f"parallel-interop: {first} checkpoints resumed by "
+                  f"{then} executor bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,9 @@ GATED_TREES = {
     "src/repro/sim/parallel.py": os.path.join(
         "src", "repro", "sim", "parallel.py"
     ),
+    "src/repro/sim/stats.py": os.path.join(
+        "src", "repro", "sim", "stats.py"
+    ),
 }
 
 

@@ -624,6 +624,10 @@ class Evaluator:
         # --jobs and --parallel-shards can no longer multiply into
         # unbounded process counts (satellite of the PR 6 executor).
         self.parallel = None
+        # Provenance of the jobs/shard-pool budget split (filled by
+        # split_worker_budget; surfaced in the manifest's parallel
+        # section so a clamped run records that it was clamped).
+        self.parallel_budget: Optional[dict] = None
         parallel_mode = getattr(config, "parallel_shards", None)
         if parallel_mode is not None:
             if self.shard_insns is None:
@@ -639,8 +643,10 @@ class Evaluator:
                 from ..sim.parallel import ParallelConfig
                 from .jobs import split_worker_budget
 
+                self.parallel_budget = {}
                 _, shard_workers = split_worker_budget(
-                    self.jobs, None, getattr(config, "worker_budget", None)
+                    self.jobs, None, getattr(config, "worker_budget", None),
+                    record=self.parallel_budget,
                 )
                 self.parallel = ParallelConfig(
                     mode=parallel_mode,

@@ -38,10 +38,32 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return int(jobs)
 
 
+#: Oversubscription messages already emitted by this process.  A
+#: worker budget is re-validated every time an Evaluator is built —
+#: once per sweep job, once per benchmark repeat, once per parallel
+#: round re-entry — and repeating the identical warning each time
+#: buries real output; the clamp itself is recorded in the run
+#: manifest's parallel section instead.
+_WARNED_BUDGETS: set = set()
+
+
+def reset_budget_warnings() -> None:
+    """Forget emitted oversubscription warnings (test isolation)."""
+    _WARNED_BUDGETS.clear()
+
+
+def _warn_once(key: tuple, message: str) -> None:
+    if key in _WARNED_BUDGETS:
+        return
+    _WARNED_BUDGETS.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def split_worker_budget(
     jobs: Optional[int],
     shard_workers: Optional[int] = None,
     budget: Optional[int] = None,
+    record: Optional[dict] = None,
 ) -> Tuple[int, int]:
     """Divide one worker-process *budget* between sweep-level *jobs*
     and per-trace shard workers.
@@ -51,39 +73,55 @@ def split_worker_budget(
     historical behaviour: ``--jobs 4 --parallel-shards`` could ask for
     ``4 × cpu_count`` processes).  With a budget, every sweep worker's
     shard pool gets an equal share — ``budget // jobs``, at least 1 —
-    and a :class:`RuntimeWarning` explains any clamping:
+    and a :class:`RuntimeWarning` (emitted once per process per
+    distinct configuration, not once per re-validation) explains any
+    clamping:
 
     * ``jobs > budget``: the sweep level alone oversubscribes; jobs
       are left untouched (cutting them would change sweep semantics)
       but shard pools collapse to 1 worker each.
     * a requested ``shard_workers`` above the share is clamped down.
+
+    When *record* (a dict) is given, it is filled with the split's
+    provenance — ``worker_budget``, resolved ``jobs`` and
+    ``shard_workers``, and whether the result was ``clamped`` — so
+    callers can persist the decision (the run manifest does).
     """
     jobs = resolve_jobs(jobs)
+
+    def done(workers: int, clamped: bool) -> Tuple[int, int]:
+        if record is not None:
+            record.update(
+                worker_budget=budget,
+                jobs=jobs,
+                shard_workers=workers,
+                clamped=clamped,
+            )
+        return jobs, workers
+
     if budget is None:
-        return jobs, resolve_jobs(shard_workers)
+        return done(resolve_jobs(shard_workers), False)
     budget = max(1, int(budget))
     share = max(1, budget // jobs)
     if jobs > budget:
-        warnings.warn(
+        _warn_once(
+            ("jobs-alone", jobs, budget),
             f"--jobs {jobs} alone oversubscribes the worker budget "
             f"{budget}; shard pools run with 1 worker each",
-            RuntimeWarning,
-            stacklevel=2,
         )
-        return jobs, 1
+        return done(1, True)
     if shard_workers is not None and int(shard_workers) > 0:
         shard_workers = int(shard_workers)
         if jobs * shard_workers > budget:
-            warnings.warn(
+            _warn_once(
+                ("clamp", jobs, shard_workers, budget),
                 f"{jobs} jobs x {shard_workers} shard workers "
                 f"oversubscribes the worker budget {budget}; clamping "
                 f"shard pools to {share} workers",
-                RuntimeWarning,
-                stacklevel=2,
             )
-            return jobs, share
-        return jobs, shard_workers
-    return jobs, share
+            return done(share, True)
+        return done(shard_workers, False)
+    return done(share, False)
 
 
 def _worker_evaluator(

@@ -26,7 +26,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 MANIFEST_FORMAT = "run-manifest"
-MANIFEST_VERSION = 1
+# Version 2 extended the parallel section with per-round accounting
+# ("rounds") and the worker-budget split provenance ("worker_budget",
+# "clamped") when the multi-level parallel executor landed.
+MANIFEST_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -57,6 +60,9 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "workers": (int, type(None)),     # shard-pool size, None = sequential
         "busy_seconds": (int, float),     # worker-seconds spent computing
         "idle_seconds": (int, float),     # worker-seconds spent waiting
+        "rounds": dict,                   # round -> {calls, seconds, units}
+        "worker_budget": (int, type(None)),  # --worker-budget, None = unset
+        "clamped": bool,                  # shard pools clamped to the budget
     },
     "kernel": {
         "numpy_available": bool,
@@ -138,6 +144,10 @@ def validate_manifest(payload: Any) -> List[str]:
         )
     for name, entry in payload["stages"].items():
         _check_fields(entry, _STAGE_FIELDS, f"manifest.stages[{name!r}]", errors)
+    for name, entry in payload["parallel"]["rounds"].items():
+        _check_fields(
+            entry, _STAGE_FIELDS, f"manifest.parallel.rounds[{name!r}]", errors
+        )
     for backend, calls in payload["backend_counts"].items():
         if not isinstance(calls, int) or isinstance(calls, bool):
             errors.append(
@@ -201,6 +211,7 @@ class RunManifest:
         from .. import kernel
 
         parallel_cfg = getattr(evaluator, "parallel", None)
+        budget_record = getattr(evaluator, "parallel_budget", None)
         store = getattr(evaluator, "store", None)
         if store is not None:
             hits, misses = store.counters()
@@ -256,6 +267,17 @@ class RunManifest:
                 ),
                 "busy_seconds": evaluator.perf.seconds("parallel:busy"),
                 "idle_seconds": evaluator.perf.seconds("parallel:idle"),
+                "rounds": evaluator.perf.parallel_rounds(),
+                "worker_budget": (
+                    budget_record.get("worker_budget")
+                    if budget_record is not None
+                    else None
+                ),
+                "clamped": (
+                    bool(budget_record.get("clamped"))
+                    if budget_record is not None
+                    else False
+                ),
             },
             "kernel": {
                 "numpy_available": kernel.HAVE_NUMPY,

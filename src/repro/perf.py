@@ -136,6 +136,29 @@ class PerfRegistry:
         """Wall-clock work recorded across every stage."""
         return sum(entry.seconds for entry in self.counters.values())
 
+    def parallel_rounds(self) -> Dict[str, dict]:
+        """Per-round accounting of the parallel shard executor.
+
+        One entry per ``parallel:<round>`` stage the pool ran —
+        ``l1-summary``/``l1-scan``/``l2-scan``/``l3-scan`` for exact
+        mode, ``tolerant``/``ideal`` for the others, plus setup stages
+        like ``write-shards`` and ``data-decode`` — excluding the
+        aggregate busy/idle/per-task counters.  Feeds the run
+        manifest's parallel section.
+        """
+        skip = ("parallel:busy", "parallel:idle", "parallel:shard")
+        rounds: Dict[str, dict] = {}
+        for name in sorted(self.counters):
+            if not name.startswith("parallel:") or name in skip:
+                continue
+            entry = self.counters[name]
+            rounds[name[len("parallel:"):]] = {
+                "calls": entry.calls,
+                "seconds": entry.seconds,
+                "units": entry.units,
+            }
+        return rounds
+
     # -- reporting ------------------------------------------------------
 
     def report(self, title: str = "per-stage timing") -> str:

@@ -81,8 +81,8 @@ def _lru_stream(
     Demand fill on every miss, MRU insertion, LRU victim — the only
     policy the no-plan path exercises.  Returns per-access hit and
     eviction flags plus the final per-set recency state (oldest
-    first), which :func:`_materialize_cache` turns back into
-    :class:`LRUStack` contents.  Passing *state* continues a previous
+    first), which :meth:`~repro.sim.cache.Cache.install_residency`
+    turns back into :class:`LRUStack` contents.  Passing *state* continues a previous
     sweep from its final residency (shard-carried replay): the first
     access of the continuation takes the general dict path, which is
     outcome- and state-identical to the back-to-back shortcut.
@@ -323,23 +323,7 @@ def _decode_data_stream(data_traffic, instr_counts: List[int]):
     return _record_data_stream(data_traffic, instr_counts)
 
 
-def _materialize_cache(cache, state, hit_count, miss_count, evict_count) -> None:
-    """Install final residency + post-warmup counters into *cache*."""
-    cache._sets.clear()
-    cache._pending_prefetched.clear()
-    for set_index, recency in state.items():
-        stack = LRUStack(cache.ways)
-        # Insertion order is oldest-to-newest; MRU sits at index 0.
-        stack._stack = list(reversed(recency.keys()))
-        cache._sets[set_index] = stack
-    stats = cache.stats
-    stats.reset()
-    stats.demand_hits = hit_count
-    stats.demand_misses = miss_count
-    stats.evictions = evict_count
-
-
-def _flags(buffer: bytearray) -> np.ndarray:
+def _flags(buffer) -> np.ndarray:
     return np.frombuffer(bytes(buffer), dtype=np.uint8).astype(bool)
 
 
@@ -422,6 +406,137 @@ def _gather_l1(view, rows: np.ndarray):
     return counts_pe, cum_pe, block_of_access, view.line_data[gather]
 
 
+def _merge_l2_stream(
+    miss_lines: np.ndarray,
+    miss_blocks: np.ndarray,
+    data_lines_py,
+    data_counts_py,
+    n_local: int,
+):
+    """One shard's L2 access stream: per retired block, that block's
+    instruction L1 misses first, then its data lines.
+
+    Returns ``(l2_lines, l2_blocks, l2_is_instr)``.  Shared by the
+    sequential kernel and the parallel executor's workers (every round
+    that touches L2 or L3 re-derives the identical stream from the L1
+    hit flags and the pre-decoded data lines)."""
+    n_miss = len(miss_lines)
+    if data_lines_py:
+        data_lines = np.asarray(data_lines_py, dtype=np.int64)
+        data_blocks = np.repeat(
+            np.arange(n_local, dtype=np.int64),
+            np.asarray(data_counts_py, dtype=np.int64),
+        )
+        merge_key = np.concatenate([miss_blocks * 2, data_blocks * 2 + 1])
+        merge_lines = np.concatenate([miss_lines, data_lines])
+        order = np.argsort(merge_key, kind="stable")
+        l2_lines = merge_lines[order]
+        l2_blocks = merge_key[order] >> 1
+        l2_is_instr = (merge_key[order] & 1) == 0
+    else:
+        l2_lines = miss_lines
+        l2_blocks = miss_blocks
+        l2_is_instr = np.ones(n_miss, dtype=bool)
+    return l2_lines, l2_blocks, l2_is_instr
+
+
+def _timing_fold(
+    machine: MachineParams,
+    incr: np.ndarray,
+    mb_list: List[int],
+    lev_list: List[int],
+    now: float,
+    busy: float,
+    frontend_stalls: float,
+    count_from: int,
+    n_local: int,
+    block_cycles: Optional[np.ndarray] = None,
+    miss_cycles: Optional[list] = None,
+) -> Tuple[float, float, float]:
+    """The reference float timing sequence over one shard, segment-
+    accelerated: between miss blocks ``now`` advances through an
+    ``np.add.accumulate`` over the per-block cycle increments, at each
+    miss the fill-port/stall recurrence runs per miss.
+
+    This is the one inherently sequential piece of the replay — every
+    float add depends on the entry ``now``/``busy``, and float addition
+    is not associative — so the parallel executor runs exactly this
+    fold in the parent while workers precompute everything else.
+    Returns the exit ``(now, busy, frontend_stalls)``.
+    """
+    record_events = block_cycles is not None
+    penalty = (
+        0.0,
+        float(machine.l2_latency),
+        float(machine.l3_latency),
+        float(machine.memory_latency),
+    )
+    occupancy = (
+        0.0,
+        machine.l2_fill_occupancy,
+        machine.l3_fill_occupancy,
+        machine.memory_fill_occupancy,
+    )
+    n_miss = len(mb_list)
+    segment = 0
+    i = 0
+    # When nobody wants per-block cycle events, only segment *totals*
+    # matter — a plain Python loop runs the identical left-associated
+    # float-add sequence ``np.add.accumulate`` would, without a buffer
+    # allocation per segment (segments between misses are short, so the
+    # per-call overhead dominates the accumulate path).  Deliberately
+    # not ``sum()``: since 3.12 it compensates float summation, which
+    # changes the bits.
+    incr_py = None if record_events else incr.tolist()
+    while i < n_miss:
+        block = mb_list[i]
+        if block > segment:
+            if record_events:
+                buffer = np.empty(block - segment + 1, dtype=np.float64)
+                buffer[0] = now
+                buffer[1:] = incr[segment:block]
+                np.add.accumulate(buffer, out=buffer)
+                block_cycles[segment:block] = buffer[:-1]
+                now = float(buffer[-1])
+            else:
+                for value in incr_py[segment:block]:
+                    now += value
+        if record_events:
+            block_cycles[block] = now
+        stall = 0.0
+        while i < n_miss and mb_list[i] == block:
+            level = lev_list[i]
+            start = now + stall
+            if start < busy:
+                start = busy
+            busy = start + occupancy[level]
+            stall = (start + penalty[level]) - now
+            if record_events:
+                miss_cycles[i] = now + stall
+            i += 1
+        if block >= count_from:
+            frontend_stalls += stall
+        now += stall
+        now += float(incr[block]) if record_events else incr_py[block]
+        segment = block + 1
+    if segment < n_local:
+        # Advance through the trailing miss-free blocks so the next
+        # shard resumes at the exact whole-trace `now`.  Splitting one
+        # left-to-right fold at a shard boundary preserves the order,
+        # so the value is bit-identical.
+        if record_events:
+            buffer = np.empty(n_local - segment + 1, dtype=np.float64)
+            buffer[0] = now
+            buffer[1:] = incr[segment:n_local]
+            np.add.accumulate(buffer, out=buffer)
+            block_cycles[segment:n_local] = buffer[:-1]
+            now = float(buffer[-1])
+        else:
+            for value in incr_py[segment:n_local]:
+                now += value
+    return now, busy, frontend_stalls
+
+
 def array_shard_replay(
     view,
     rows: np.ndarray,
@@ -432,6 +547,9 @@ def array_shard_replay(
     eff: int = 0,
     record_events: bool = False,
     l1_precomputed: Optional[tuple] = None,
+    l2_precomputed: Optional[tuple] = None,
+    l3_precomputed: Optional[tuple] = None,
+    data_stream: Optional[tuple] = None,
 ) -> Optional[ReplayEvents]:
     """Replay one shard (trace rows at global positions ``offset ..
     offset+len(rows)``) of the no-plan columnar path, continuing from
@@ -444,13 +562,17 @@ def array_shard_replay(
     With ``record_events`` the per-shard observer view is returned,
     with ``miss_trace_index`` already global.
 
-    ``l1_precomputed`` is the parallel executor's injection point: a
-    ``(l1_hits_bytes, l1_evicts_bytes, l1_end_state)`` triple from a
-    worker that already ran the exact L1 sweep for this shard (from
-    the composed true start state).  The sweep is skipped and the end
-    state installed; every other operation — L2/L3 sweeps, timing,
-    counters — runs unchanged, which is what keeps the parallel exact
-    mode bit-identical to this sequential path.
+    ``l1_precomputed``/``l2_precomputed``/``l3_precomputed`` are the
+    parallel executor's injection points: each is a ``(hits_bytes,
+    evicts_bytes, end_state)`` triple from a worker that already ran
+    the exact LRU sweep of that level for this shard (from the
+    composed true start state).  The corresponding sweep is skipped
+    and the end state installed; every other operation — stream
+    derivation, timing, counters — runs unchanged, which is what
+    keeps the parallel exact mode bit-identical to this sequential
+    path.  ``data_stream`` is a ``(lines, counts)`` pair the caller
+    already decoded from the data-traffic model (the caller owns
+    advancing the model); when absent the model is decoded here.
     """
     n_local = len(rows)
     reset_local = eff - offset if offset <= eff < offset + n_local else None
@@ -479,35 +601,29 @@ def array_shard_replay(
     n_miss = len(miss_pos)
 
     # -- data-traffic stream (exact model replay, per retired block) ---
-    data_lines_py, data_counts_py = _decode_data_stream(
-        data_traffic, view.instruction_counts[rows].tolist()
-    )
+    if data_stream is not None:
+        data_lines_py, data_counts_py = data_stream
+    else:
+        data_lines_py, data_counts_py = _decode_data_stream(
+            data_traffic, view.instruction_counts[rows].tolist()
+        )
 
     # -- L2 stream: per block, instruction misses then data lines ------
-    if data_lines_py:
-        data_lines = np.asarray(data_lines_py, dtype=np.int64)
-        data_blocks = np.repeat(
-            np.arange(n_local, dtype=np.int64),
-            np.asarray(data_counts_py, dtype=np.int64),
-        )
-        merge_key = np.concatenate([miss_blocks * 2, data_blocks * 2 + 1])
-        merge_lines = np.concatenate([miss_lines, data_lines])
-        order = np.argsort(merge_key, kind="stable")
-        l2_lines = merge_lines[order]
-        l2_blocks = merge_key[order] >> 1
-        l2_is_instr = (merge_key[order] & 1) == 0
-    else:
-        l2_lines = miss_lines
-        l2_blocks = miss_blocks
-        l2_is_instr = np.ones(n_miss, dtype=bool)
+    l2_lines, l2_blocks, l2_is_instr = _merge_l2_stream(
+        miss_lines, miss_blocks, data_lines_py, data_counts_py, n_local
+    )
 
     l2_geom = machine.l2
-    l2_hits_b, l2_evicts_b, _ = _lru_stream(
-        l2_lines.tolist(),
-        (l2_lines % l2_geom.num_sets).tolist(),
-        l2_geom.ways,
-        carry.l2_state,
-    )
+    if l2_precomputed is None:
+        l2_hits_b, l2_evicts_b, _ = _lru_stream(
+            l2_lines.tolist(),
+            (l2_lines % l2_geom.num_sets).tolist(),
+            l2_geom.ways,
+            carry.l2_state,
+        )
+    else:
+        l2_hits_b, l2_evicts_b, l2_end_state = l2_precomputed
+        carry.l2_state = l2_end_state
     l2_hits = _flags(l2_hits_b)
 
     # -- L3 stream: the L2 misses, in order ----------------------------
@@ -516,12 +632,16 @@ def array_shard_replay(
     l3_blocks = l2_blocks[l3_sel]
     l3_is_instr = l2_is_instr[l3_sel]
     l3_geom = machine.l3
-    l3_hits_b, l3_evicts_b, _ = _lru_stream(
-        l3_lines.tolist(),
-        (l3_lines % l3_geom.num_sets).tolist(),
-        l3_geom.ways,
-        carry.l3_state,
-    )
+    if l3_precomputed is None:
+        l3_hits_b, l3_evicts_b, _ = _lru_stream(
+            l3_lines.tolist(),
+            (l3_lines % l3_geom.num_sets).tolist(),
+            l3_geom.ways,
+            carry.l3_state,
+        )
+    else:
+        l3_hits_b, l3_evicts_b, l3_end_state = l3_precomputed
+        carry.l3_state = l3_end_state
     l3_hits = _flags(l3_hits_b)
 
     # -- hit level of every instruction miss ---------------------------
@@ -535,25 +655,11 @@ def array_shard_replay(
 
     # -- timing: the reference float sequence, segment-accelerated -----
     incr = view.instruction_counts[rows].astype(np.float64) * cpi
-    penalty = (
-        0.0,
-        float(machine.l2_latency),
-        float(machine.l3_latency),
-        float(machine.memory_latency),
-    )
-    occupancy = (
-        0.0,
-        machine.l2_fill_occupancy,
-        machine.l3_fill_occupancy,
-        machine.memory_fill_occupancy,
-    )
     mb_list = miss_blocks.tolist()
     lev_list = lev.tolist()
     block_cycles = np.empty(n_local, dtype=np.float64) if record_events else None
     miss_cycles = [0.0] * n_miss if record_events else None
 
-    now = carry.now
-    busy = carry.busy
     # Stalls before the reset boundary are discarded by the reset, so
     # the reset shard restarts the float accumulator from 0.0 — the
     # exact value the reference holds right after clearing.
@@ -563,51 +669,19 @@ def array_shard_replay(
     else:
         frontend_stalls = 0.0
         count_from = reset_local
-    segment = 0
-    i = 0
-    while i < n_miss:
-        block = mb_list[i]
-        if block > segment:
-            buffer = np.empty(block - segment + 1, dtype=np.float64)
-            buffer[0] = now
-            buffer[1:] = incr[segment:block]
-            np.add.accumulate(buffer, out=buffer)
-            if record_events:
-                block_cycles[segment:block] = buffer[:-1]
-            now = float(buffer[-1])
-        if record_events:
-            block_cycles[block] = now
-        stall = 0.0
-        while i < n_miss and mb_list[i] == block:
-            level = lev_list[i]
-            start = now + stall
-            if start < busy:
-                start = busy
-            busy = start + occupancy[level]
-            stall = (start + penalty[level]) - now
-            if record_events:
-                miss_cycles[i] = now + stall
-            i += 1
-        if block >= count_from:
-            frontend_stalls += stall
-        now += stall
-        now += float(incr[block])
-        segment = block + 1
-    if segment < n_local:
-        # Advance through the trailing miss-free blocks so the next
-        # shard resumes at the exact whole-trace `now`.  Splitting one
-        # add.accumulate at a shard boundary preserves the fold order,
-        # so the value is bit-identical.
-        buffer = np.empty(n_local - segment + 1, dtype=np.float64)
-        buffer[0] = now
-        buffer[1:] = incr[segment:n_local]
-        np.add.accumulate(buffer, out=buffer)
-        if record_events:
-            block_cycles[segment:n_local] = buffer[:-1]
-        now = float(buffer[-1])
-    carry.now = now
-    carry.busy = busy
-    carry.frontend_stalls = frontend_stalls
+    carry.now, carry.busy, carry.frontend_stalls = _timing_fold(
+        machine,
+        incr,
+        mb_list,
+        lev_list,
+        carry.now,
+        carry.busy,
+        frontend_stalls,
+        count_from,
+        n_local,
+        block_cycles,
+        miss_cycles,
+    )
 
     # -- counters (reference semantics: values since the last reset) ---
     if reset_local is None:
@@ -691,19 +765,7 @@ def array_finish(
     stats.miss_level_counts = dict(carry.miss_level_counts)
 
     if hierarchy is not None:
-        _materialize_cache(
-            hierarchy.l1i, carry.l1_state, carry.l1_dh, carry.l1_dm,
-            carry.l1_ev,
-        )
-        _materialize_cache(
-            hierarchy.l2, carry.l2_state, carry.l2_dh, carry.l2_dm,
-            carry.l2_ev,
-        )
-        _materialize_cache(
-            hierarchy.l3, carry.l3_state, carry.l3_dh, carry.l3_dm,
-            carry.l3_ev,
-        )
-        hierarchy.fill_port.busy_until = carry.busy
+        hierarchy.install_carry_summary(carry)
         # Reference parity: prefetch-hit bookkeeping feeds this field.
         stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
 

@@ -152,6 +152,33 @@ class Cache:
             self._pending_prefetched.discard(line)
         return removed
 
+    def install_residency(
+        self,
+        state: Dict[int, Dict[int, None]],
+        demand_hits: int,
+        demand_misses: int,
+        evictions: int,
+    ) -> None:
+        """Replace contents and demand counters wholesale.
+
+        *state* maps set index to an ordered ``{line: None}`` recency
+        dict, oldest first — the representation the columnar LRU sweep
+        and the parallel executor's composition law both produce.  Used
+        to install a carried replay state; any pending-prefetch
+        bookkeeping is cleared (the no-plan paths never prefetch).
+        """
+        self._sets.clear()
+        self._pending_prefetched.clear()
+        for set_index, recency in state.items():
+            stack = LRUStack(self.ways)
+            # Insertion order is oldest-to-newest; MRU sits at index 0.
+            stack._stack = list(reversed(recency.keys()))
+            self._sets[set_index] = stack
+        self.stats.reset()
+        self.stats.demand_hits = demand_hits
+        self.stats.demand_misses = demand_misses
+        self.stats.evictions = evictions
+
     def flush(self) -> None:
         """Empty the cache, keeping statistics."""
         self._sets.clear()

@@ -32,6 +32,7 @@ but does not checkpoint — its state lives across many rich objects
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from .. import kernel
@@ -335,7 +336,16 @@ def _checkpoint(
     merged: ShardStats,
     carry_payload: dict,
     data_model,
+    data_payload: Optional[dict] = None,
 ) -> dict:
+    """One shard's resume payload (sequential format, all executors).
+
+    *data_payload* overrides the live model snapshot: the parallel
+    executor pre-decodes every shard's data stream up front (the
+    decode advances the RNG), so it passes the state captured right
+    after *this* shard's decode — exactly what a sequential resume
+    from this checkpoint must start from.
+    """
     return {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
@@ -345,7 +355,10 @@ def _checkpoint(
         "shard_insns": shard_insns,
         "merged": merged.to_payload(),
         "carry": carry_payload,
-        "data_model": _data_model_payload(data_model),
+        "data_model": (
+            data_payload if data_payload is not None
+            else _data_model_payload(data_model)
+        ),
     }
 
 
@@ -867,15 +880,29 @@ def _run_parallel_array(
     core, view, warmup, total, bounds, shard_rows, shard_insns,
     checkpointer, tracer, pool, perf,
 ):
-    """Exact parallel no-plan replay: two worker rounds, then the
-    unchanged sequential fold (see :mod:`repro.sim.parallel` for the
-    composition law that makes round 2's start states exact).
+    """Exact parallel no-plan replay: one summarize/compose/scan round
+    per cache level (see :mod:`repro.sim.parallel` for the composition
+    law and the round pipeline), then a parallel accounting reduction
+    — worker-computed :class:`~repro.sim.stats.CarryUpdate` integer
+    deltas applied in shard order, plus the one inherently serial
+    piece, the float timing chain (``_timing_fold``).
 
-    Checkpoints are written per shard in the identical sequential
-    format, so a killed parallel run resumes sequentially and vice
-    versa."""
-    from .array_replay import ArrayCarry, array_finish, array_shard_replay
+    The data-traffic stream is pre-decoded shard by shard in the
+    parent (the decode advances the model's RNG, so it is sequential
+    by nature); the model snapshot captured after each shard's decode
+    is written into that shard's checkpoint, keeping checkpoints in
+    the identical sequential format — a killed parallel run resumes
+    sequentially and vice versa."""
+    import numpy as np
+
+    from .array_replay import (
+        ArrayCarry,
+        _decode_data_stream,
+        _timing_fold,
+        array_finish,
+    )
     from .parallel import compose_lru_state
+    from .stats import CarryUpdate
 
     stats = core.stats
     machine = core.machine
@@ -896,34 +923,108 @@ def _run_parallel_array(
         prev = _array_snapshot(carry, cpi)
 
     remaining = list(range(start_shard, len(bounds)))
-    ways = machine.l1i.ways
+    resets: Dict[int, Optional[int]] = {}
+    for index in remaining:
+        start, stop = bounds[index]
+        resets[index] = eff - start if start <= eff < stop else None
+
+    # Data-traffic pre-decode: per shard, in order, from the carried
+    # model state — with a post-shard snapshot for each checkpoint.
+    streams: Dict[int, tuple] = {}
+    data_payloads: Dict[int, Optional[dict]] = {}
+    if core.data_traffic is not None:
+        with perf.stage("parallel:data-decode", units=len(remaining)):
+            for index in remaining:
+                streams[index] = _decode_data_stream(
+                    core.data_traffic,
+                    view.instruction_counts[shard_rows(index)].tolist(),
+                )
+                data_payloads[index] = _data_model_payload(core.data_traffic)
+    else:
+        for index in remaining:
+            streams[index] = ([], [])
+            data_payloads[index] = None
+
+    # Rounds 1-4: summarize/compose/scan down the hierarchy.  Each
+    # scan round fixes the next level's access stream, so its summary
+    # rides along and the parent only ever composes start states.
     summaries = pool.run_round(
         "l1-summary", [(index,) for index in remaining], perf, tracer
     )
-    states = {start_shard: carry.l1_state}
+    l1_states = {start_shard: carry.l1_state}
     for index, summary in zip(remaining, summaries):
-        states[index + 1] = compose_lru_state(states[index], summary, ways)
-    scans = pool.run_round(
+        l1_states[index + 1] = compose_lru_state(
+            l1_states[index], summary, machine.l1i.ways
+        )
+    r2 = pool.run_round(
         "l1-scan",
-        [(index, _lru_states_payload(states[index])) for index in remaining],
+        [
+            (index, l1_states[index], streams[index], resets[index])
+            for index in remaining
+        ],
         perf,
         tracer,
     )
-    for index, (l1_hits, l1_evicts) in zip(remaining, scans):
-        start, _stop = bounds[index]
-        with tracer.span("sim:shard", index=index, offset=start,
+    l2_states = {start_shard: carry.l2_state}
+    for index, out in zip(remaining, r2):
+        l2_states[index + 1] = compose_lru_state(
+            l2_states[index], out["l2_summary"], machine.l2.ways
+        )
+    r3 = pool.run_round(
+        "l2-scan",
+        [
+            (index, l2_states[index], out["l1_hits"], streams[index],
+             resets[index])
+            for index, out in zip(remaining, r2)
+        ],
+        perf,
+        tracer,
+    )
+    l3_states = {start_shard: carry.l3_state}
+    for index, out in zip(remaining, r3):
+        l3_states[index + 1] = compose_lru_state(
+            l3_states[index], out["l3_summary"], machine.l3.ways
+        )
+    # Accounting reduction, overlapped with round 4: the fold for
+    # shard *i* (integer deltas via CarryUpdate, the order-dependent
+    # float timing chain, the checkpoint) runs while workers are still
+    # scanning shards > *i*, so the fix-up itself runs in parallel
+    # with the round and only composition + merge stay strictly
+    # serial.  Results arrive in submission order, which is shard
+    # order — exactly what the telescoping fold needs.
+    def _fold_shard(position, out4):
+        nonlocal merged, prev
+        index = remaining[position]
+        out2, out3 = r2[position], r3[position]
+        reset_local = resets[index]
+        folded = time.perf_counter()
+        with tracer.span("sim:shard", index=index, offset=bounds[index][0],
                          parallel=True):
-            array_shard_replay(
-                view,
-                shard_rows(index),
+            CarryUpdate.combine(
+                reset_local is not None,
+                (out2["counters"], out3["counters"], out4["counters"]),
+                out4["miss_levels"],
+            ).apply(carry)
+            carry.l1_state = l1_states[index + 1]
+            carry.l2_state = l2_states[index + 1]
+            carry.l3_state = l3_states[index + 1]
+            incr = np.frombuffer(out4["incr"], dtype=np.float64)
+            if reset_local is None:
+                frontend_stalls = carry.frontend_stalls
+                count_from = 0
+            else:
+                frontend_stalls = 0.0
+                count_from = reset_local
+            carry.now, carry.busy, carry.frontend_stalls = _timing_fold(
                 machine,
-                carry,
-                data_traffic=core.data_traffic,
-                offset=start,
-                eff=eff,
-                l1_precomputed=(
-                    l1_hits, l1_evicts, states[index + 1]
-                ),
+                incr,
+                np.frombuffer(out4["miss_blocks"], dtype=np.int64).tolist(),
+                np.frombuffer(out4["levels"], dtype=np.int8).tolist(),
+                carry.now,
+                carry.busy,
+                frontend_stalls,
+                count_from,
+                len(incr),
             )
         cur = _array_snapshot(carry, cpi)
         merged = merged.merge(ShardStats.delta(index, prev, cur))
@@ -934,8 +1035,22 @@ def _run_parallel_array(
                 _checkpoint(
                     "columnar", index, len(bounds), shard_insns, merged,
                     _array_carry_payload(carry), core.data_traffic,
+                    data_payload=data_payloads[index],
                 ),
             )
+        perf.add("parallel:fold", time.perf_counter() - folded)
+
+    pool.run_round(
+        "l3-scan",
+        [
+            (index, l3_states[index], out2["l1_hits"], out3["l2_hits"],
+             streams[index], resets[index])
+            for index, out2, out3 in zip(remaining, r2, r3)
+        ],
+        perf,
+        tracer,
+        consume=_fold_shard,
+    )
     array_finish(carry, machine, stats, core.hierarchy)
     _apply_merged(stats, merged)
     if checkpointer is not None:

@@ -14,7 +14,11 @@ from repro.analysis.experiments import (
     Evaluator,
     ExperimentSettings,
 )
-from repro.analysis.jobs import resolve_jobs, split_worker_budget
+from repro.analysis.jobs import (
+    reset_budget_warnings,
+    resolve_jobs,
+    split_worker_budget,
+)
 from repro.io import ArtifactStore, stats_to_record
 from repro.perf import PerfRegistry
 from repro.runconfig import RunConfig
@@ -185,6 +189,13 @@ def test_resolve_jobs():
 class TestWorkerBudget:
     """One budget shared by --jobs and --parallel-shards pools."""
 
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_dedup(self):
+        """Each test sees a process that has warned about nothing."""
+        reset_budget_warnings()
+        yield
+        reset_budget_warnings()
+
     def test_no_budget_resolves_independently(self):
         jobs, shard_workers = split_worker_budget(2, 3, None)
         assert (jobs, shard_workers) == (2, 3)
@@ -203,6 +214,47 @@ class TestWorkerBudget:
         with pytest.warns(RuntimeWarning, match="clamping"):
             jobs, shard_workers = split_worker_budget(2, 8, 8)
         assert (jobs, shard_workers) == (2, 4)
+
+    def test_identical_oversubscription_warns_once_per_process(self):
+        """Re-validating the same budget split (once per sweep job,
+        once per benchmark repeat...) must not repeat the warning."""
+        import warnings
+
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            split_worker_budget(2, 8, 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert split_worker_budget(2, 8, 8) == (2, 4)
+        reset_budget_warnings()
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            split_worker_budget(2, 8, 8)
+
+    def test_distinct_oversubscription_still_warns(self):
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            split_worker_budget(2, 8, 8)
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            split_worker_budget(2, 16, 8)
+
+    def test_record_captures_split_provenance(self):
+        record: dict = {}
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            split_worker_budget(2, 8, 8, record=record)
+        assert record == {
+            "worker_budget": 8, "jobs": 2, "shard_workers": 4,
+            "clamped": True,
+        }
+        record = {}
+        split_worker_budget(2, 3, 8, record=record)
+        assert record == {
+            "worker_budget": 8, "jobs": 2, "shard_workers": 3,
+            "clamped": False,
+        }
+        record = {}
+        split_worker_budget(2, 3, None, record=record)
+        assert record == {
+            "worker_budget": None, "jobs": 2, "shard_workers": 3,
+            "clamped": False,
+        }
 
     def test_within_budget_passes_through_silently(self):
         import warnings

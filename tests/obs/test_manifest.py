@@ -14,6 +14,7 @@ from repro.obs.manifest import (
     RunManifest,
     validate_manifest,
 )
+from repro.perf import PerfRegistry
 from repro.runconfig import RunConfig
 
 SETTINGS = ExperimentSettings(
@@ -23,7 +24,9 @@ SETTINGS = ExperimentSettings(
 
 @pytest.fixture(scope="module")
 def evaluator():
-    ev = Evaluator(SETTINGS)
+    # a private registry: the global one may carry parallel-round
+    # entries from earlier test files, and the manifest reports them
+    ev = Evaluator(config=RunConfig(settings=SETTINGS, perf=PerfRegistry()))
     ev.prewarm(apps=["wordpress"], variants=("baseline", "ispy"))
     return ev
 
@@ -92,6 +95,53 @@ class TestCollect:
         # a cold run looks everything up and misses
         assert sum(section["misses"].values()) > 0
         assert section["hit_rate"] is not None
+
+
+class TestParallelSection:
+    """Round accounting and worker-budget provenance (schema v2)."""
+
+    def test_sequential_run_has_empty_parallel_section(self, manifest):
+        section = manifest.payload["parallel"]
+        assert section["mode"] is None
+        assert section["workers"] is None
+        assert section["rounds"] == {}
+        assert section["worker_budget"] is None
+        assert section["clamped"] is False
+
+    def test_parallel_run_records_rounds_and_budget(self):
+        from repro import kernel
+
+        if not kernel.numpy_enabled():
+            pytest.skip(
+                "the exact executor needs the numpy kernel; without it "
+                "sharded runs fall back to sequential streaming"
+            )
+        config = RunConfig(
+            settings=SETTINGS, shard_insns=2_000, parallel_shards="exact",
+            worker_budget=1,
+        )
+        ev = Evaluator(config=config)
+        ev.prewarm(apps=["wordpress"], variants=("baseline",))
+        parallel_manifest = RunManifest.collect(ev, command="evaluate")
+        assert parallel_manifest.validate() == []
+        section = parallel_manifest.payload["parallel"]
+        assert section["mode"] == "exact"
+        assert section["worker_budget"] == 1
+        assert section["clamped"] is False
+        for stage in ("l1-summary", "l1-scan", "l2-scan", "l3-scan"):
+            entry = section["rounds"][stage]
+            assert entry["calls"] >= 1
+            assert entry["units"] >= 1
+            assert entry["seconds"] >= 0
+        # pool bookkeeping stays out of the per-round table
+        assert "busy" not in section["rounds"]
+        assert "shard" not in section["rounds"]
+
+    def test_rounds_entries_are_schema_checked(self, manifest):
+        payload = json.loads(json.dumps(manifest.payload))
+        payload["parallel"]["rounds"] = {"l1-scan": {"calls": 1}}
+        errors = validate_manifest(payload)
+        assert any("rounds['l1-scan']" in error for error in errors)
 
 
 class TestValidation:

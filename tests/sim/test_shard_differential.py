@@ -405,6 +405,233 @@ class TestComposeLRUState:
         assert {k: list(v) for k, v in state.items()} == before
 
 
+class TestWorkerRoundsInProcess:
+    """The exact-mode round tasks, run in this process (no pool).
+
+    These call the very functions the pool dispatches —
+    ``_init_worker`` plus the four ``_task_*`` rounds — directly, so
+    the round logic is (a) checked against a sequential replay and the
+    naive summary oracle and (b) visible to coverage, which cannot see
+    into forked pool workers.
+    """
+
+    @pytest.fixture()
+    def rig(self, tmp_path):
+        from repro.sim import parallel
+
+        rng = random.Random(424242)
+        program = make_random_program(rng, n_blocks=64)
+        trace = make_random_trace(rng, 64, length=500, fanout=3)
+        total = sum(
+            program.block(b).instruction_count for b in trace.block_ids
+        )
+        sharded = write_trace_shards(trace, program, tmp_path, total // 6)
+        assert sharded.num_shards >= 4
+        with kernel.force_numpy_kernel():
+            core = CoreSimulator(program)
+            parallel._init_worker(
+                parallel.pool_payload(core, tmp_path, "exact", 64)
+            )
+            yield parallel, core, program, trace, sharded
+
+    @staticmethod
+    def _chain(parallel, machine, num_shards, resets):
+        """Drive all four rounds in-process, exactly as the parent
+        does: compose each level's start states between rounds."""
+        data = ([], [])
+        l1_states, state = {}, {}
+        for index in range(num_shards):
+            l1_states[index] = state
+            state = compose_lru_state(
+                state, parallel._task_l1_summary(index), machine.l1i.ways
+            )
+        l1_final = state
+        r2 = [
+            parallel._task_l1_scan(
+                index, l1_states[index], data, resets[index]
+            )
+            for index in range(num_shards)
+        ]
+        l2_states, state = {}, {}
+        for index, out in enumerate(r2):
+            l2_states[index] = state
+            state = compose_lru_state(
+                state, out["l2_summary"], machine.l2.ways
+            )
+        l2_final = state
+        r3 = [
+            parallel._task_l2_scan(
+                index, l2_states[index], r2[index]["l1_hits"], data,
+                resets[index],
+            )
+            for index in range(num_shards)
+        ]
+        l3_states, state = {}, {}
+        for index, out in enumerate(r3):
+            l3_states[index] = state
+            state = compose_lru_state(
+                state, out["l3_summary"], machine.l3.ways
+            )
+        l3_final = state
+        r4 = [
+            parallel._task_l3_scan(
+                index, l3_states[index], r2[index]["l1_hits"],
+                r3[index]["l2_hits"], data, resets[index],
+            )
+            for index in range(num_shards)
+        ]
+        return r2, r3, r4, (l1_final, l2_final, l3_final)
+
+    @staticmethod
+    def _fold(r2, r3, r4, resets):
+        """Apply each shard's CarryUpdate onto a bare counter carry."""
+        from types import SimpleNamespace
+
+        from repro.sim.stats import CarryUpdate
+
+        carry = SimpleNamespace(
+            l1_dh=0, l1_dm=0, l1_ev=0, l2_dh=0, l2_dm=0, l2_ev=0,
+            l3_dh=0, l3_dm=0, l3_ev=0, l1i_accesses=0, l1i_misses=0,
+            program_instructions=0, miss_level_counts={},
+        )
+        for index, (out2, out3, out4) in enumerate(zip(r2, r3, r4)):
+            CarryUpdate.combine(
+                resets[index] is not None,
+                (out2["counters"], out3["counters"], out4["counters"]),
+                out4["miss_levels"],
+            ).apply(carry)
+        return carry
+
+    def test_l1_summary_matches_naive_oracle(self, rig):
+        parallel, core, _program, _trace, sharded = rig
+        geom = core.machine.l1i
+        for index in range(sharded.num_shards):
+            l1_lines = parallel._shard_gather(index)[4]
+            naive = TestComposeLRUState._summary_of(
+                l1_lines.tolist(),
+                (l1_lines % geom.num_sets).tolist(),
+                geom.ways,
+            )
+            vectorized = parallel._task_l1_summary(index)
+            assert {s: tuple(b) for s, b in vectorized} == {
+                s: tuple(b) for s, b in naive
+            }, f"shard {index}"
+
+    def test_shard_l2_stream_is_the_l1_miss_stream(self, rig):
+        import numpy as np
+
+        from repro.sim.array_replay import _flags
+
+        parallel, _core, _program, _trace, sharded = rig
+        machine = _core.machine
+        num = sharded.num_shards
+        resets = {index: None for index in range(num)}
+        r2, _r3, _r4, _finals = self._chain(parallel, machine, num, resets)
+        for index in range(num):
+            hits = _flags(r2[index]["l1_hits"])
+            _rows, l2_lines, l2_blocks, l2_is_instr = (
+                parallel._shard_l2_stream(index, r2[index]["l1_hits"],
+                                          ([], []))
+            )
+            # no data model: the L2 stream is exactly the L1 misses
+            assert bool(l2_is_instr.all())
+            assert len(l2_lines) == int((~hits).sum())
+            assert (np.diff(l2_blocks) >= 0).all(), "merge order broken"
+
+    def test_round_chain_reproduces_sequential_accounting(self, rig):
+        parallel, core, program, trace, sharded = rig
+        machine = core.machine
+        num = sharded.num_shards
+        resets = {index: None for index in range(num)}
+        seq_core, seq_stats = _replay(program, trace, "columnar")
+        r2, r3, r4, finals = self._chain(parallel, machine, num, resets)
+        carry = self._fold(r2, r3, r4, resets)
+
+        assert carry.l1i_accesses == seq_stats.l1i_accesses
+        assert carry.l1i_misses == seq_stats.l1i_misses
+        assert carry.program_instructions == seq_stats.program_instructions
+        assert carry.miss_level_counts == seq_stats.miss_level_counts
+        hier = seq_core.hierarchy
+        for prefix, cache in (("l1", hier.l1i), ("l2", hier.l2),
+                              ("l3", hier.l3)):
+            assert getattr(carry, f"{prefix}_dh") == cache.stats.demand_hits
+            assert getattr(carry, f"{prefix}_dm") == cache.stats.demand_misses
+            assert getattr(carry, f"{prefix}_ev") == cache.stats.evictions
+
+        # the composed end states are the sequential residency
+        resident = hierarchy_state(seq_core)
+        for level, final in zip(("l1i", "l2", "l3"), finals):
+            composed = {
+                s: list(reversed(list(d))) for s, d in final.items() if d
+            }
+            expected = {
+                s: lines for s, lines in resident[level].items() if lines
+            }
+            assert composed == expected, level
+
+    def test_ideal_task_sums_shard_columns(self, rig):
+        parallel, _core, program, _trace, sharded = rig
+        ids = sharded.shard(0).block_ids
+        lines, instructions = parallel._task_ideal(0, None)
+        assert instructions == sum(
+            program.block(b).instruction_count for b in ids
+        )
+        assert lines == sum(len(program.lines_of(b)) for b in ids)
+        cut = len(ids) // 2
+        post_lines, post_instructions = parallel._task_ideal(0, cut)
+        assert post_instructions == sum(
+            program.block(b).instruction_count for b in ids[cut:]
+        )
+        assert post_lines == sum(len(program.lines_of(b)) for b in ids[cut:])
+
+    def test_tolerant_task_first_shard_is_cold_exact(self, rig):
+        parallel, _core, program, _trace, sharded = rig
+        ids = sharded.shard(0).block_ids
+        out = parallel._task_tolerant(0, None)
+        # shard 0 has no warm-up prefix: its tolerant replay is just a
+        # cold exact replay of the shard
+        assert out["l1i_accesses"] == sum(
+            len(program.lines_of(b)) for b in ids
+        )
+        assert out["backend"] == "columnar"
+        assert sum(out["miss_levels"].values()) == out["l1i_misses"]
+
+    def test_pool_task_entry_times_and_traces(self, rig):
+        parallel, *_ = rig
+        result, seconds, events = parallel._pool_task("ideal", (0, None))
+        assert seconds >= 0
+        assert events is None, "no tracer, no shipped spans"
+        parallel._W["tracing"] = True
+        try:
+            traced, _seconds, events = parallel._pool_task("ideal", (0, None))
+        finally:
+            parallel._W["tracing"] = False
+        assert traced == result
+        assert events, "worker spans recorded for parent absorption"
+
+    def test_reset_counters_match_sequential_warmup(self, rig):
+        parallel, core, program, trace, sharded = rig
+        machine = core.machine
+        num = sharded.num_shards
+        # land the warmup reset strictly inside shard 1, exactly as
+        # the driver computes the per-shard local reset index
+        start, stop = sharded.bounds[1]
+        eff = start + (stop - start) // 2
+        resets = {
+            index: eff - s if s <= eff < e else None
+            for index, (s, e) in enumerate(sharded.bounds)
+        }
+        _seq_core, seq_stats = _replay(
+            program, trace, "columnar", warmup=eff
+        )
+        r2, r3, r4, _finals = self._chain(parallel, machine, num, resets)
+        carry = self._fold(r2, r3, r4, resets)
+        assert carry.l1i_accesses == seq_stats.l1i_accesses
+        assert carry.l1i_misses == seq_stats.l1i_misses
+        assert carry.program_instructions == seq_stats.program_instructions
+        assert carry.miss_level_counts == seq_stats.miss_level_counts
+
+
 class TestOnDiskShards:
     """write_trace_shards / ShardedTrace round trip and replay."""
 

@@ -7,9 +7,11 @@ the accounting identities every figure ultimately rests on.
 
 import tempfile
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import kernel
 from repro.core.instructions import PrefetchInstr, PrefetchPlan
 from repro.io import ArtifactStore
 from repro.sim.cpu import CoreSimulator, simulate
@@ -260,6 +262,46 @@ class TestShardedResumeInvariants:
                 ),
             )
         assert resumed == whole
+
+
+class TestCompositionLawInvariants:
+    """The level-parameterized LRU stitching law behind exact parallel
+    replay: for *any* access stream and *any* split of it into chunks,
+    composing the per-chunk summaries equals streaming every access —
+    checked here for the L2 and L3 geometries, which reuse the law
+    that was first written for the L1I."""
+
+    @pytest.mark.skipif(
+        not kernel.HAVE_NUMPY, reason="the vectorized summary needs numpy"
+    )
+    @given(
+        st.lists(st.integers(0, 2047), min_size=0, max_size=400),
+        st.lists(st.integers(0, 400), min_size=0, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compose_of_split_equals_whole_stream(self, lines, raw_cuts):
+        from repro.sim.array_replay import _lru_stream
+        from repro.sim.parallel import _lru_summary, compose_lru_state
+
+        machine = MachineParams()
+        cuts = sorted({min(cut, len(lines)) for cut in raw_cuts})
+        chunks = [
+            lines[start:stop]
+            for start, stop in zip([0] + cuts, cuts + [len(lines)])
+        ]
+        for level in (machine.l2, machine.l3):
+            sets = [line % level.num_sets for line in lines]
+            _hits, _evicts, whole = _lru_stream(lines, sets, level.ways, {})
+            state = {}
+            for chunk in chunks:
+                state = compose_lru_state(
+                    state,
+                    _lru_summary(chunk, level.num_sets, level.ways),
+                    level.ways,
+                )
+            assert {k: list(v) for k, v in whole.items() if v} == {
+                k: list(v) for k, v in state.items() if v
+            }
 
 
 class TestMachineInvariants:
