@@ -1,25 +1,38 @@
 #!/usr/bin/env python3
-"""CI guard against parallel-replay speedup regressions.
+"""CI guard against committed benchmark speedup regressions.
 
-Compares a freshly generated ``BENCH_parallel_shards.json`` against
-the copy committed at ``HEAD`` and fails when the exact-mode
-*projected 8-worker speedup* — the headline number of the multi-level
-round decomposition — drops below ``--min-ratio`` of the committed
-value.  The projection is a 1-worker Amdahl model (see the benchmark
-module), so it is stable across host core counts; the ratio guard
-absorbs ordinary timer noise while catching structural regressions
-(serial work creeping back into the parent).
+Compares freshly generated benchmark JSON against the copies
+committed at ``HEAD`` and fails when a guarded headline number drops
+below ``--min-ratio`` of the committed value.  Two benchmarks are
+guarded:
+
+* ``BENCH_parallel_shards.json`` — the exact-mode *projected
+  8-worker speedup* of the multi-level round decomposition.  The
+  projection is a 1-worker Amdahl model (see the benchmark module),
+  so it is stable across host core counts.
+* ``BENCH_batched_sweep.json`` — the *measured* plan-batched sweep
+  speedup (one ``columnar-plan-batch`` pass vs per-variant
+  ``columnar-plan`` replays).  This is a wall-clock ratio of two
+  runs on the same host, so host speed divides out.
+
+The ratio guard absorbs ordinary timer noise while catching
+structural regressions (serial or per-variant work creeping back
+into a shared phase).
 
 Usage::
 
     python -m pytest benchmarks/test_parallel_shards.py -x -q
-    python scripts/bench_diff.py [--fresh PATH] [--committed PATH]
-        [--min-ratio 0.9]
+    python -m pytest benchmarks/test_batched_sweep.py -x -q
+    python scripts/bench_diff.py [--only NAME] [--fresh PATH]
+        [--committed PATH] [--min-ratio 0.9]
 
-When ``--committed`` is not given, the committed baseline is read via
-``git show HEAD:benchmarks/results/BENCH_parallel_shards.json``.  A
-missing committed baseline (first commit of the benchmark) passes
-with a notice instead of failing.
+``--fresh``/``--committed`` override the file locations and require
+``--only`` to say which guard they refer to.  When ``--committed``
+is not given, the committed baseline is read via ``git show
+HEAD:<relpath>``.  A missing committed baseline (first commit of a
+benchmark) passes with a notice instead of failing, as does a
+missing fresh file when running all guards (that benchmark was
+simply not regenerated).
 """
 
 from __future__ import annotations
@@ -31,32 +44,68 @@ import subprocess
 import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BENCH_RELPATH = "benchmarks/results/BENCH_parallel_shards.json"
 
 
-def parse_args(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--fresh", default=os.path.join(REPO, BENCH_RELPATH),
-                        help="freshly generated benchmark JSON")
-    parser.add_argument("--committed", default=None,
-                        help="baseline JSON (default: HEAD's copy via git)")
-    parser.add_argument("--min-ratio", type=float, default=0.9,
-                        help="fail when fresh/committed drops below this")
-    return parser.parse_args(argv)
-
-
-def projected_8w_exact(payload: dict) -> float:
+def _parallel_metric(payload: dict) -> float:
     return float(
         payload["measured"]["modes"]["exact"]["projected_speedup"]["8"]
     )
 
 
-def load_committed(path):
+def _batched_metric(payload: dict) -> float:
+    return float(payload["measured"]["speedup"])
+
+
+GUARDS = {
+    "parallel-shards": {
+        "relpath": "benchmarks/results/BENCH_parallel_shards.json",
+        "metric": _parallel_metric,
+        "label": "exact projected 8-worker speedup",
+        "hint": (
+            "the parallel executor's projected speedup regressed; "
+            "either fix the serial-work regression or consciously "
+            "recommit the benchmark JSON with justification"
+        ),
+    },
+    "batched-sweep": {
+        "relpath": "benchmarks/results/BENCH_batched_sweep.json",
+        "metric": _batched_metric,
+        "label": "measured plan-batched sweep speedup",
+        "hint": (
+            "the plan-batched sweep's measured speedup regressed; "
+            "check the batch_phase_seconds decomposition for "
+            "per-variant work creeping into a shared phase, or "
+            "consciously recommit the benchmark JSON with "
+            "justification"
+        ),
+    },
+}
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", choices=sorted(GUARDS),
+                        help="check a single guard instead of all")
+    parser.add_argument("--fresh", default=None,
+                        help="freshly generated benchmark JSON "
+                             "(requires --only)")
+    parser.add_argument("--committed", default=None,
+                        help="baseline JSON (default: HEAD's copy via git; "
+                             "requires --only)")
+    parser.add_argument("--min-ratio", type=float, default=0.9,
+                        help="fail when fresh/committed drops below this")
+    args = parser.parse_args(argv)
+    if (args.fresh or args.committed) and not args.only:
+        parser.error("--fresh/--committed require --only")
+    return args
+
+
+def load_committed(relpath, path):
     if path is not None:
         with open(path) as handle:
             return json.load(handle)
     proc = subprocess.run(
-        ["git", "show", f"HEAD:{BENCH_RELPATH}"],
+        ["git", "show", f"HEAD:{relpath}"],
         cwd=REPO, capture_output=True, text=True,
     )
     if proc.returncode != 0:
@@ -64,30 +113,43 @@ def load_committed(path):
     return json.loads(proc.stdout)
 
 
-def main(argv=None):
-    args = parse_args(argv)
-    with open(args.fresh) as handle:
+def check_guard(name, args) -> int:
+    guard = GUARDS[name]
+    fresh_path = args.fresh or os.path.join(REPO, guard["relpath"])
+    if not os.path.exists(fresh_path):
+        if args.only:
+            print(f"bench-diff[{name}]: fresh file missing: {fresh_path}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench-diff[{name}]: no fresh {guard['relpath']}; "
+              "benchmark not regenerated, skipping")
+        return 0
+    with open(fresh_path) as handle:
         fresh = json.load(handle)
-    committed = load_committed(args.committed)
+    committed = load_committed(guard["relpath"], args.committed)
     if committed is None:
-        print("bench-diff: no committed baseline at "
-              f"HEAD:{BENCH_RELPATH}; nothing to compare against")
+        print(f"bench-diff[{name}]: no committed baseline at "
+              f"HEAD:{guard['relpath']}; nothing to compare against")
         return 0
 
-    fresh_speedup = projected_8w_exact(fresh)
-    committed_speedup = projected_8w_exact(committed)
+    fresh_speedup = guard["metric"](fresh)
+    committed_speedup = guard["metric"](committed)
     ratio = fresh_speedup / committed_speedup
     verdict = "ok" if ratio >= args.min_ratio else "REGRESSED"
-    print(f"bench-diff: exact projected 8-worker speedup "
+    print(f"bench-diff[{name}]: {guard['label']} "
           f"{fresh_speedup:.2f}x vs committed {committed_speedup:.2f}x "
           f"(ratio {ratio:.3f}, floor {args.min_ratio}) [{verdict}]")
     if ratio < args.min_ratio:
-        print("bench-diff: FAILED — the parallel executor's projected "
-              "speedup regressed against the committed baseline; either "
-              "fix the serial-work regression or consciously recommit "
-              "the benchmark JSON with justification", file=sys.stderr)
+        print(f"bench-diff[{name}]: FAILED — {guard['hint']}",
+              file=sys.stderr)
         return 1
     return 0
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    names = [args.only] if args.only else sorted(GUARDS)
+    return max(check_guard(name, args) for name in names)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,9 @@ GATED_TREES = {
     "src/repro/sim/streaming.py": os.path.join(
         "src", "repro", "sim", "streaming.py"
     ),
+    "src/repro/sim/array_replay.py": os.path.join(
+        "src", "repro", "sim", "array_replay.py"
+    ),
     "src/repro/sim/parallel.py": os.path.join(
         "src", "repro", "sim", "parallel.py"
     ),

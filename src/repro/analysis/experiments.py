@@ -94,6 +94,7 @@ class AppEvaluation:
         tracer=None,
         shard_insns: Optional[int] = None,
         parallel=None,
+        plan_batch: Optional[bool] = None,
     ):
         self.name = name
         self.settings = settings
@@ -113,6 +114,14 @@ class AppEvaluation:
         #: cache keys); ``tolerant`` trades documented accuracy for
         #: speed, so persistent caching is disabled for its stats.
         self.parallel = parallel
+        #: batch whole sweep variant sets through one trace pass
+        #: (:meth:`run_plans`).  Tri-state: ``True`` forces the batched
+        #: backend, ``False`` disables it, ``None`` (default) enables
+        #: it automatically whenever two or more uncached plan variants
+        #: are requested together.  Another pure execution knob —
+        #: batched results are bit-identical per variant, so it is
+        #: absent from every cache key.
+        self.plan_batch = plan_batch
         self._app: Optional[SyntheticApp] = None
         self._profile: Optional[ExecutionProfile] = None
         self._eval_trace: Optional[BlockTrace] = None
@@ -307,6 +316,119 @@ class AppEvaluation:
         )
         self._remember_stats(key, stats)
         return stats
+
+    def run_plans(
+        self,
+        plans,
+        hash_bits: int = 16,
+        track_exact_context: bool = False,
+        trace: Optional[BlockTrace] = None,
+    ) -> List[SimStats]:
+        """Replay one sweep's worth of plan variants, batched.
+
+        *plans* is a list whose items are either a
+        :class:`PrefetchPlan` (``None`` for no-prefetch) or a
+        ``(plan, overrides)`` pair where *overrides* is a dict of
+        per-variant keyword arguments for :meth:`run_plan`
+        (``hash_bits`` / ``track_exact_context``).  Returns one
+        :class:`SimStats` per item, in order, each bit-identical to
+        the corresponding :meth:`run_plan` call.
+
+        Cache hits (memory or store) fill their slots without
+        simulating; the remaining misses run as one
+        ``columnar-plan-batch`` pass over the trace when eligible
+        (see :attr:`plan_batch`), and any variant the batch cannot
+        take — or that it bails out of mid-run — falls back to its
+        own :meth:`run_plan` with fresh simulator objects.
+        """
+        requests = []
+        for item in plans:
+            if isinstance(item, tuple):
+                plan, overrides = item
+            else:
+                plan, overrides = item, {}
+            kw = {
+                "hash_bits": hash_bits,
+                "track_exact_context": track_exact_context,
+            }
+            kw.update(overrides)
+            requests.append((plan, kw))
+
+        results: List[Optional[SimStats]] = [None] * len(requests)
+        keys = []
+        misses = []
+        for i, (plan, kw) in enumerate(requests):
+            key = self._stats_key(
+                plan, kw["hash_bits"], kw["track_exact_context"], trace
+            )
+            keys.append(key)
+            cached = self._cached_stats(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                misses.append(i)
+
+        batchable = (
+            [i for i in misses if requests[i][0] is not None]
+            if self.plan_batch is not False
+            else []
+        )
+        # The batch shares one trace pass, so it cannot compose with
+        # the per-replay process fan-out or the per-replay resume
+        # checkpoints (those key on a single variant's stats key).
+        eligible = (
+            len(batchable) >= (1 if self.plan_batch else 2)
+            and self.parallel is None
+            and not (self.store is not None and self.shard_insns is not None)
+        )
+        if eligible and batchable:
+            from ..sim.streaming import run_plan_batch
+
+            replay = trace if trace is not None else self.eval_trace
+            blocks = len(replay.block_ids)
+            with self.perf.stage(
+                "sweep:batch", units=blocks * len(batchable)
+            ), self.tracer.span(
+                "sim:batch-sweep",
+                app=self.name,
+                variants=len(batchable),
+                blocks=blocks,
+            ) as span:
+                cores = [
+                    CoreSimulator(
+                        self.app.program,
+                        plan=requests[i][0],
+                        hash_bits=requests[i][1]["hash_bits"],
+                        track_exact_context=requests[i][1][
+                            "track_exact_context"
+                        ],
+                        data_traffic=self._eval_data_traffic(),
+                    )
+                    for i in batchable
+                ]
+                reasons = run_plan_batch(
+                    cores,
+                    replay,
+                    warmup=self.settings.warmup,
+                    shard_insns=self.shard_insns,
+                )
+                span.set(fallbacks=sum(r is not None for r in reasons))
+            for i, core, reason in zip(batchable, cores, reasons):
+                if reason is not None:
+                    self.perf.count("batch-fallback")
+                    continue
+                self.perf.count("simulate:columnar-plan-batch", units=blocks)
+                stats = core.stats
+                stats.false_positive_rate = (  # type: ignore[attr-defined]
+                    core.engine.conditional_false_positive_rate
+                )
+                self._remember_stats(keys[i], stats)
+                results[i] = stats
+
+        for i, (plan, kw) in enumerate(requests):
+            if results[i] is None:
+                results[i] = self.run_plan(plan, trace=trace, **kw)
+        return results  # type: ignore[return-value]
 
     def run_ideal(self, trace: Optional[BlockTrace] = None) -> SimStats:
         """Replay a trace against the all-hits ideal frontend."""
@@ -653,6 +775,9 @@ class Evaluator:
                     workers=shard_workers,
                     perf=self.perf,
                 )
+        #: tri-state --plan-batch knob, forwarded to every
+        #: AppEvaluation (see AppEvaluation.plan_batch)
+        self.plan_batch: Optional[bool] = getattr(config, "plan_batch", None)
         # the config's tracer when it has one, else whatever tracer is
         # installed process-wide (the null tracer when tracing is off)
         self.tracer = (
@@ -673,6 +798,7 @@ class Evaluator:
                 tracer=self.tracer,
                 shard_insns=self.shard_insns,
                 parallel=self.parallel,
+                plan_batch=self.plan_batch,
             )
         return self._apps[name]
 
@@ -779,10 +905,10 @@ def fig03_fanout_tradeoff(
 ) -> List[Dict[str, object]]:
     """Sweep AsmDB's fan-out threshold on one application."""
     evaluation = evaluator[app]
+    results = [evaluation.asmdb_result(t) for t in thresholds]
+    sweep = evaluation.run_plans([r.plan for r in results])
     rows = []
-    for threshold in thresholds:
-        result = evaluation.asmdb_result(threshold)
-        stats = evaluation.run_plan(result.plan)
+    for threshold, result, stats in zip(thresholds, results, sweep):
         rows.append(
             {
                 "fanout_threshold": threshold,
@@ -908,6 +1034,16 @@ def fig12_ablation(
     """Speedup of each I-SPY mechanism (and both) over AsmDB."""
     rows = []
     for evaluation in evaluator.apps(apps):
+        # Warm the stats cache with one batched pass over all four
+        # ablation variants; the speedup() accessors below hit it.
+        evaluation.run_plans(
+            [
+                evaluation.asmdb_plan(),
+                evaluation.ispy_plan(),
+                evaluation.ispy_plan(DEFAULT_CONFIG.conditional_only()),
+                evaluation.ispy_plan(DEFAULT_CONFIG.coalescing_only()),
+            ]
+        )
         asmdb = evaluation.speedup("asmdb")
         rows.append(
             {
@@ -1049,23 +1185,32 @@ def fig17_predecessors(
     the predecessor count (the paper reports tens of minutes beyond
     4), so the default sweep stops at 8.
     """
-    rows = []
-    for count in counts:
-        config = replace(
+    configs = [
+        replace(
             DEFAULT_CONFIG,
             max_predecessors=count,
             predictor_pool_size=max(count, DEFAULT_CONFIG.predictor_pool_size),
             enable_coalescing=False,
         )
-        fractions = []
-        for name in apps:
-            evaluation = evaluator[name]
-            stats = evaluation.run_plan(evaluation.ispy_plan(config))
-            fractions.append(
-                metrics.percent_of_ideal(
-                    evaluation.baseline_stats, stats, evaluation.ideal_stats
-                )
+        for count in counts
+    ]
+    # One batched trace pass per app covering every context size.
+    sweeps = {
+        name: evaluator[name].run_plans(
+            [evaluator[name].ispy_plan(config) for config in configs]
+        )
+        for name in apps
+    }
+    rows = []
+    for i, count in enumerate(counts):
+        fractions = [
+            metrics.percent_of_ideal(
+                evaluator[name].baseline_stats,
+                sweeps[name][i],
+                evaluator[name].ideal_stats,
             )
+            for name in apps
+        ]
         rows.append(
             {
                 "predecessors": count,
@@ -1087,46 +1232,33 @@ def fig18_distance(
     apps: Sequence[str] = SWEEP_APPS,
 ) -> List[Dict[str, object]]:
     """Sweep the minimum (max fixed) and maximum (min fixed) distance."""
+    points = [
+        ("min", m, DEFAULT_CONFIG.with_window(m, DEFAULT_CONFIG.max_prefetch_distance))
+        for m in minima
+    ] + [
+        ("max", m, DEFAULT_CONFIG.with_window(DEFAULT_CONFIG.min_prefetch_distance, m))
+        for m in maxima
+    ]
+    # One batched trace pass per app covering both distance sweeps.
+    sweeps = {
+        name: evaluator[name].run_plans(
+            [evaluator[name].ispy_plan(config) for _, _, config in points]
+        )
+        for name in apps
+    }
     rows = []
-    for minimum in minima:
-        config = DEFAULT_CONFIG.with_window(minimum, DEFAULT_CONFIG.max_prefetch_distance)
-        fractions = [
-            evaluator[name].run_plan(evaluator[name].ispy_plan(config))
-            for name in apps
-        ]
+    for i, (sweep, distance, _) in enumerate(points):
         rows.append(
             {
-                "sweep": "min",
-                "distance": minimum,
+                "sweep": sweep,
+                "distance": distance,
                 "mean_pct_of_ideal": metrics.arithmetic_mean(
                     metrics.percent_of_ideal(
                         evaluator[name].baseline_stats,
-                        stats,
+                        sweeps[name][i],
                         evaluator[name].ideal_stats,
                     )
-                    for name, stats in zip(apps, fractions)
-                ),
-            }
-        )
-    for maximum in maxima:
-        config = DEFAULT_CONFIG.with_window(
-            DEFAULT_CONFIG.min_prefetch_distance, maximum
-        )
-        fractions = [
-            evaluator[name].run_plan(evaluator[name].ispy_plan(config))
-            for name in apps
-        ]
-        rows.append(
-            {
-                "sweep": "max",
-                "distance": maximum,
-                "mean_pct_of_ideal": metrics.arithmetic_mean(
-                    metrics.percent_of_ideal(
-                        evaluator[name].baseline_stats,
-                        stats,
-                        evaluator[name].ideal_stats,
-                    )
-                    for name, stats in zip(apps, fractions)
+                    for name in apps
                 ),
             }
         )
@@ -1143,21 +1275,24 @@ def fig19_coalesce_size(
     bits: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
     apps: Sequence[str] = SWEEP_APPS,
 ) -> List[Dict[str, object]]:
+    configs = [replace(DEFAULT_CONFIG, coalesce_bits=size) for size in bits]
+    # One batched trace pass per app covering every bitmask width.
+    plans = {
+        name: [evaluator[name].ispy_plan(config) for config in configs]
+        for name in apps
+    }
+    sweeps = {name: evaluator[name].run_plans(plans[name]) for name in apps}
     rows = []
-    for size in bits:
-        config = replace(DEFAULT_CONFIG, coalesce_bits=size)
-        fractions = []
-        instr_counts = []
-        for name in apps:
-            evaluation = evaluator[name]
-            plan = evaluation.ispy_plan(config)
-            stats = evaluation.run_plan(plan)
-            fractions.append(
-                metrics.percent_of_ideal(
-                    evaluation.baseline_stats, stats, evaluation.ideal_stats
-                )
+    for i, size in enumerate(bits):
+        fractions = [
+            metrics.percent_of_ideal(
+                evaluator[name].baseline_stats,
+                sweeps[name][i],
+                evaluator[name].ideal_stats,
             )
-            instr_counts.append(len(plan))
+            for name in apps
+        ]
+        instr_counts = [len(plans[name][i]) for name in apps]
         rows.append(
             {
                 "coalesce_bits": size,
@@ -1213,13 +1348,19 @@ def fig21_hash_size(
     """False-positive rate and static footprint vs hash width."""
     evaluation = evaluator[app]
     text = evaluation.app.program.text_bytes
+    plans = [
+        evaluation.ispy_plan(replace(DEFAULT_CONFIG, context_hash_bits=size))
+        for size in bits
+    ]
+    # One batched pass; the hash width varies per slot via overrides.
+    sweep = evaluation.run_plans(
+        [
+            (plan, {"hash_bits": size, "track_exact_context": True})
+            for plan, size in zip(plans, bits)
+        ]
+    )
     rows = []
-    for size in bits:
-        config = replace(DEFAULT_CONFIG, context_hash_bits=size)
-        plan = evaluation.ispy_plan(config)
-        stats = evaluation.run_plan(
-            plan, hash_bits=size, track_exact_context=True
-        )
+    for size, plan, stats in zip(bits, plans, sweep):
         rows.append(
             {
                 "hash_bits": size,

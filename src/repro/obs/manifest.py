@@ -29,7 +29,9 @@ MANIFEST_FORMAT = "run-manifest"
 # Version 2 extended the parallel section with per-round accounting
 # ("rounds") and the worker-budget split provenance ("worker_budget",
 # "clamped") when the multi-level parallel executor landed.
-MANIFEST_VERSION = 2
+# Version 3 added the "batch" section (plan-batched sweep replay:
+# the --plan-batch mode, sweep/variant/fallback counts).
+MANIFEST_VERSION = 3
 
 PathLike = Union[str, Path]
 
@@ -76,6 +78,12 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
         "hits": dict,       # kind -> int
         "misses": dict,     # kind -> int
         "hit_rate": (int, float, type(None)),
+    },
+    "batch": {
+        "mode": (bool, type(None)),   # --plan-batch tri-state (None = auto)
+        "sweeps": int,                # batched trace passes executed
+        "batched_replays": int,       # variants served by a batched pass
+        "fallbacks": int,             # variants bounced to solo replay
     },
     "backend_counts": dict,  # replay backend -> simulate calls
     "stages": dict,          # stage -> {calls, seconds, units}
@@ -286,6 +294,14 @@ class RunManifest:
                 "forced": kernel._forced,
             },
             "store": store_section,
+            "batch": {
+                "mode": getattr(evaluator, "plan_batch", None),
+                "sweeps": evaluator.perf.calls("sweep:batch"),
+                "batched_replays": evaluator.perf.calls(
+                    "simulate:columnar-plan-batch"
+                ),
+                "fallbacks": evaluator.perf.calls("batch-fallback"),
+            },
             "backend_counts": evaluator.perf.backend_counts(),
             "stages": stages,
             "apps": apps,

@@ -69,6 +69,13 @@ class RunConfig:
     #: tolerance — see :mod:`repro.sim.parallel`); requires
     #: ``shard_insns``.  Like it, an execution knob: never cached on.
     parallel_shards: Optional[str] = None
+    #: batch whole sweep variant sets through one trace pass per app
+    #: (the ``columnar-plan-batch`` backend): True forces it, False
+    #: disables it, None (default) batches automatically whenever a
+    #: sweep requests two or more uncached plan variants together.
+    #: Per-variant results are bit-identical to independent replays,
+    #: so — like every execution knob — it never enters cache keys.
+    plan_batch: Optional[bool] = None
     #: total worker-process budget shared between sweep-level ``jobs``
     #: and intra-trace shard workers (see
     #: :func:`repro.analysis.jobs.split_worker_budget`); None sizes
@@ -117,6 +124,13 @@ class RunConfig:
             numpy_kernel=False if getattr(args, "no_numpy_kernel", False) else None,
             shard_insns=getattr(args, "shard_insns", None),
             parallel_shards=getattr(args, "parallel_shards", None),
+            plan_batch=(
+                True
+                if getattr(args, "plan_batch", False)
+                else False
+                if getattr(args, "no_plan_batch", False)
+                else None
+            ),
             worker_budget=getattr(args, "worker_budget", None),
             timing=getattr(args, "timing", False),
             trace_path=getattr(args, "trace", None),
@@ -219,6 +233,18 @@ def add_run_arguments(
         "serves the no-plan columnar backends (others fall back to "
         "sequential replay), 'tolerant' serves every backend with a "
         "documented statistics tolerance",
+    )
+    batch = run.add_mutually_exclusive_group()
+    batch.add_argument(
+        "--plan-batch", action="store_true",
+        help="force the batched sweep backend: evaluate every plan "
+        "variant of a sweep in one pass over the trace (default: "
+        "automatic when a sweep has two or more uncached variants; "
+        "per-variant results are bit-identical either way)",
+    )
+    batch.add_argument(
+        "--no-plan-batch", action="store_true",
+        help="always replay sweep variants one at a time",
     )
     run.add_argument(
         "--worker-budget", type=int, default=None, metavar="N",

@@ -38,6 +38,7 @@ reference is exact, not approximate — the differential tests in
 from __future__ import annotations
 
 import gc
+import time
 
 from dataclasses import dataclass
 from itertools import repeat
@@ -854,9 +855,21 @@ class PlanContext:
         self.cpi = 1.0 / machine.base_ipc
         self.prefetch_cpi = 1.0 / machine.issue_width
 
+        # Plan-independent tables are cached on the view so batched
+        # sweeps build them once instead of once per variant.
+        statics = getattr(view, "_plan_static_cache", None)
+        if statics is None:
+            statics = {}
+            setattr(view, "_plan_static_cache", statics)
+
         # -- compiled site table, mapped onto program rows --------------
         compiled = engine.plan.compiled_sites()
-        row_by_id = dict(zip(view.block_ids.tolist(), range(view.num_blocks)))
+        row_by_id = statics.get("row_by_id")
+        if row_by_id is None:
+            row_by_id = dict(
+                zip(view.block_ids.tolist(), range(view.num_blocks))
+            )
+            statics["row_by_id"] = row_by_id
         self.row_by_id = row_by_id
         site_rows = {}
         for block_id, instrs in compiled.items():
@@ -881,22 +894,31 @@ class PlanContext:
             tracker = self.tracker
             self.depth = tracker.depth
             self.hash_bits = tracker.hash_bits
-            contrib_rows = np.zeros(
-                (view.num_blocks, self.hash_bits), dtype=np.int32
-            )
-            hashed_row = np.zeros(view.num_blocks, dtype=bool)
             positions = tracker.positions
-            for block_id, row in row_by_id.items():
-                pos = positions.get(block_id)
-                if pos is not None:
-                    hashed_row[row] = True
-                    for bit in pos:
-                        contrib_rows[row, bit] += 1
-            self.contrib_rows = contrib_rows
-            self.hashed_row = hashed_row
-            self.max_single = (
-                int(contrib_rows.max()) if contrib_rows.size else 0
-            )
+            # the positions table is cached per (program, hash_bits), so
+            # its identity keys the derived contribution tables; the
+            # entry pins the table so the id cannot be recycled
+            ckey = ("contrib", self.hash_bits, id(positions))
+            entry = statics.get(ckey)
+            if entry is None:
+                contrib_rows = np.zeros(
+                    (view.num_blocks, self.hash_bits), dtype=np.int32
+                )
+                hashed_row = np.zeros(view.num_blocks, dtype=bool)
+                for block_id, row in row_by_id.items():
+                    pos = positions.get(block_id)
+                    if pos is not None:
+                        hashed_row[row] = True
+                        for bit in pos:
+                            contrib_rows[row, bit] += 1
+                max_single = (
+                    int(contrib_rows.max()) if contrib_rows.size else 0
+                )
+                entry = (positions, contrib_rows, hashed_row, max_single)
+                statics[ckey] = entry
+            self.contrib_rows = entry[1]
+            self.hashed_row = entry[2]
+            self.max_single = entry[3]
         else:
             self.depth = 0
             self.hash_bits = 0
@@ -923,9 +945,13 @@ class PlanContext:
             self.pd2 = self.l2_ways // 2
             self.pd3 = self.l3_ways // 2
         self.pairs_list = view.line_set_pairs(self.l1_ns)
-        self.incr_row = (
-            view.instruction_counts.astype(np.float64) * self.cpi
-        ).tolist()
+        incr_row = statics.get(("incr", self.cpi))
+        if incr_row is None:
+            incr_row = (
+                view.instruction_counts.astype(np.float64) * self.cpi
+            ).tolist()
+            statics[("incr", self.cpi)] = incr_row
+        self.incr_row = incr_row
         self.penalty = (
             0.0,
             float(machine.l2_latency),
@@ -1008,7 +1034,8 @@ class PlanCarry:
         self.exact_tail: list = []
 
 
-def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff):
+def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset,
+                           eff, shared: Optional[dict] = None):
     """Vectorized per-shard decision tables for the plan replay.
 
     Returns ``None`` — without mutating *carry* or any external state —
@@ -1057,53 +1084,87 @@ def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff
         depth = ctx.depth
         hash_bits = ctx.hash_bits
         n_tail = len(carry.tracker_tail)
-        hashed_t = ctx.hashed_row[rows]
-        contrib_shard = np.where(hashed_t[:, None], ctx.contrib_rows[rows], 0)
-        if n_tail:
-            tail_rows = np.array(
-                [ctx.row_by_id[b] for b in carry.tracker_tail],
-                dtype=np.int64,
+        # The prefix-sum machinery (and every per-row window derived
+        # from it) depends only on (hash table, depth, carried tail) —
+        # not the plan — so batched sweeps hand in a *shared* memo and
+        # variants with matching configuration build it once.
+        mkey = (
+            "bloom", hash_bits, depth, tuple(carry.tracker_tail),
+            id(ctx.contrib_rows), tracker.max_count,
+        )
+        mach = shared.get(mkey) if shared is not None else None
+        if mach is None:
+            hashed_t = ctx.hashed_row[rows]
+            contrib_shard = np.where(
+                hashed_t[:, None], ctx.contrib_rows[rows], 0
             )
-            hashed_v = np.concatenate(
-                [np.ones(n_tail, dtype=bool), hashed_t]
-            )
-            contrib_v = np.concatenate(
-                [ctx.contrib_rows[tail_rows], contrib_shard]
-            )
-        else:
-            hashed_v = hashed_t
-            contrib_v = contrib_shard
-        n_virt = n_tail + n_local
-        prefix = np.zeros((n_virt + 1, hash_bits), dtype=np.int64)
-        np.cumsum(contrib_v, axis=0, out=prefix[1:])
-        hashed_count = np.zeros(n_virt + 1, dtype=np.int64)
-        np.cumsum(hashed_v, out=hashed_count[1:])
-        hashed_idx = np.flatnonzero(hashed_v)
+            if n_tail:
+                tail_rows = np.array(
+                    [ctx.row_by_id[b] for b in carry.tracker_tail],
+                    dtype=np.int64,
+                )
+                hashed_v = np.concatenate(
+                    [np.ones(n_tail, dtype=bool), hashed_t]
+                )
+                contrib_v = np.concatenate(
+                    [ctx.contrib_rows[tail_rows], contrib_shard]
+                )
+            else:
+                hashed_v = hashed_t
+                contrib_v = contrib_shard
+            n_virt = n_tail + n_local
+            prefix = np.zeros((n_virt + 1, hash_bits), dtype=np.int64)
+            np.cumsum(contrib_v, axis=0, out=prefix[1:])
+            hashed_count = np.zeros(n_virt + 1, dtype=np.int64)
+            np.cumsum(hashed_v, out=hashed_count[1:])
+            hashed_idx = np.flatnonzero(hashed_v)
 
-        hashed_local = np.flatnonzero(hashed_t)
-        new_hashed = [
-            int(b)
-            for b in view.block_ids[rows[hashed_local[-depth:]]].tolist()
-        ]
+            hashed_local = np.flatnonzero(hashed_t)
+            new_hashed = [
+                int(b)
+                for b in view.block_ids[rows[hashed_local[-depth:]]].tolist()
+            ]
 
-        # Overflow guard: the reference increments every bit of the new
-        # entry *before* evicting the FIFO tail, so the transient peak
-        # is a (depth+1)-entry window over this shard's pushes.  A
-        # depth-entry tail covers every such window (at most depth
-        # prior entries precede an in-shard push).  If any peak would
-        # exceed the counter maximum, the reference raises
-        # OverflowError mid-push; bail out (pre-mutation) and let it
-        # do exactly that.
-        if ctx.max_single and (depth + 1) * ctx.max_single > tracker.max_count:
-            pushes = hashed_idx[hashed_idx >= n_tail]
-            if len(pushes):
-                push_rank = hashed_count[pushes + 1]
-                starts = np.zeros(len(pushes), dtype=np.int64)
-                deep = push_rank > depth + 1
-                starts[deep] = hashed_idx[push_rank[deep] - (depth + 1)]
-                peaks = prefix[pushes + 1] - prefix[starts]
-                if int(peaks.max()) > tracker.max_count:
-                    return None
+            # Overflow guard: the reference increments every bit of the
+            # new entry *before* evicting the FIFO tail, so the
+            # transient peak is a (depth+1)-entry window over this
+            # shard's pushes.  A depth-entry tail covers every such
+            # window (at most depth prior entries precede an in-shard
+            # push).  If any peak would exceed the counter maximum, the
+            # reference raises OverflowError mid-push; bail out
+            # (pre-mutation) and let it do exactly that.
+            overflow = False
+            if (
+                ctx.max_single
+                and (depth + 1) * ctx.max_single > tracker.max_count
+            ):
+                pushes = hashed_idx[hashed_idx >= n_tail]
+                if len(pushes):
+                    push_rank = hashed_count[pushes + 1]
+                    starts = np.zeros(len(pushes), dtype=np.int64)
+                    deep = push_rank > depth + 1
+                    starts[deep] = hashed_idx[push_rank[deep] - (depth + 1)]
+                    peaks = prefix[pushes + 1] - prefix[starts]
+                    overflow = int(peaks.max()) > tracker.max_count
+            mach = {
+                "prefix": prefix,
+                "hashed_count": hashed_count,
+                "hashed_idx": hashed_idx,
+                "new_hashed": new_hashed,
+                "overflow": overflow,
+                "window": {},
+                "fires": {},
+            }
+            if shared is not None:
+                shared[mkey] = mach
+        if mach["overflow"]:
+            return None
+        prefix = mach["prefix"]
+        hashed_count = mach["hashed_count"]
+        hashed_idx = mach["hashed_idx"]
+        new_hashed = mach["new_hashed"]
+        window_memo = mach["window"]
+        fires_memo = mach["fires"]
 
         def window_counts(ts_v: np.ndarray) -> np.ndarray:
             """Counter values visible to a site executing at each
@@ -1125,7 +1186,12 @@ def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff
         else:
             n_ex = 0
             virt_rows = rows
-        occ_cache: Dict[int, np.ndarray] = {}
+        if shared is not None:
+            occ_cache = shared.setdefault(
+                ("exact", exact_depth, tuple(carry.exact_tail)), {}
+            )
+        else:
+            occ_cache = {}
 
         for row, instrs in site_rows.items():
             if all(instr.context_mask is None for instr in instrs):
@@ -1133,7 +1199,10 @@ def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff
             ts = occ_by_row.get(row)
             if ts is None:
                 continue
-            window = window_counts(ts + n_tail)
+            window = window_memo.get(row)
+            if window is None:
+                window = window_counts(ts + n_tail)
+                window_memo[row] = window
             if reset_local is None:
                 ts_count = np.ones(len(ts), dtype=bool)
             else:
@@ -1144,14 +1213,19 @@ def _plan_shard_precompute(ctx: PlanContext, carry: PlanCarry, rows, offset, eff
                 if mask is None:
                     fires_list.append(None)
                     continue
-                if mask >> hash_bits:
-                    # Bits beyond the tracker width can never be set.
-                    fires = np.zeros(len(ts), dtype=bool)
-                elif mask == 0:
-                    fires = np.ones(len(ts), dtype=bool)
-                else:
-                    bits = [b for b in range(hash_bits) if (mask >> b) & 1]
-                    fires = (window[:, bits] > 0).all(axis=1)
+                fires = fires_memo.get((row, mask))
+                if fires is None:
+                    if mask >> hash_bits:
+                        # Bits beyond the tracker width can never be set.
+                        fires = np.zeros(len(ts), dtype=bool)
+                    elif mask == 0:
+                        fires = np.ones(len(ts), dtype=bool)
+                    else:
+                        bits = [
+                            b for b in range(hash_bits) if (mask >> b) & 1
+                        ]
+                        fires = (window[:, bits] > 0).all(axis=1)
+                    fires_memo[(row, mask)] = fires
                 fires_list.append(fires)
                 suppressed += int((~fires & ts_count).sum())
                 if ctx.exact_hist is not None and instr.context_blocks:
@@ -1805,3 +1879,879 @@ def plan_replay(
         return False
     _plan_finish(ctx, carry, stats, hierarchy, engine)
     return True
+
+
+# ---------------------------------------------------------------------------
+# Plan-batched columnar replay ("columnar-plan-batch")
+# ---------------------------------------------------------------------------
+#
+# Evaluates V compiled plan variants in ONE pass over the trace.  The
+# single-variant loop (:func:`plan_shard_replay`) interleaves four
+# concerns per retired block; the batch splits them into three phases
+# so the expensive one runs lane-vectorized across every variant at
+# once:
+#
+#   A. per-variant sequential decision replay (Python): prefetch-issue
+#      decisions, the full L1I demand sweep and the in-flight map.
+#      These are inherently serial — each issue decision reads the L1
+#      residency its own earlier prefetches produced — but touch no
+#      timing floats and no L2/L3 state.  Phase A emits the variant's
+#      L2-bound event stream (prefetch queries and demand misses) plus
+#      a timing-event stream for phase C.
+#   B. lane-vectorized L2/L3 sweeps (NumPy): every (variant, set) pair
+#      is one lane of a timestamp-LRU array; one round of the sweep
+#      advances all V variants' sets together, so the per-round Python
+#      overhead — the dominant cost at these set sizes — is amortized
+#      across the whole sweep instead of being paid per variant.
+#   C. per-variant sequential timing fold (Python): replays the
+#      reference loop's float operations in the identical order, using
+#      the per-event hit levels phase B produced.
+#
+# Exactness rests on two facts about the reference loop, checked
+# rather than assumed:
+#
+#   * cache/engine *state* evolution is timing-independent except at
+#     one point — a demand access that pops a still-in-flight line and
+#     misses the L1 takes a state-divergent "late" path.  Phase A
+#     speculates every such pop on-time and phase C verifies the
+#     speculation against the real arrival time; a late pop-miss
+#     invalidates only that variant, which falls back to the
+#     per-variant replay (reason ``late-prefetch-miss``).
+#   * in-flight insertion is unconditional whenever every fill level's
+#     latency is positive (arrival = start + penalty > now always);
+#     a machine configured otherwise is rejected at admission
+#     (reason ``nonpositive-latency``).
+#
+# The timestamp LRU encodes recency as float64 stamps: demand touches
+# use fresh integer stamps, prefetch depth-`pd` insertions use the
+# midpoint of the two rank-adjacent stamps (strictly between them, so
+# within-lane order is total).  A midpoint that degenerates to one of
+# its neighbours — possible only after ~50 consecutive same-depth
+# prefetch fills into one set with no demand touch — is detected per
+# lane and fails just that variant (reason ``ts-collision``), so
+# equality is never silently approximate.
+
+_TS_EMPTY = -1.0e18  # unoccupied-way sentinel, below any reachable stamp
+_TS_OCCUPIED = -1.0e17  # stamps above this mark an occupied way
+
+
+class _LaneCache:
+    """Variant-stacked set-associative LRU state for one cache level.
+
+    Lane ``v * num_sets + s`` holds variant *v*'s set *s*.  Recency is
+    a float64 timestamp per way (larger = more recent); ``fill`` counts
+    occupied ways and ``touched`` marks lanes that saw any event, which
+    for L2/L3 is exactly the reference's materialized-set criterion
+    (every reference materialization is followed by a fill).
+    """
+
+    __slots__ = (
+        "num_sets", "ways", "pd", "n_lanes",
+        "lines", "ts", "pend", "fill", "touched", "ts_base",
+    )
+
+    def __init__(self, n_variants: int, num_sets: int, ways: int, pd: int):
+        n_lanes = n_variants * num_sets
+        self.num_sets = num_sets
+        self.ways = ways
+        self.pd = pd
+        self.n_lanes = n_lanes
+        self.lines = np.full((n_lanes, ways), -1, dtype=np.int64)
+        self.ts = np.full((n_lanes, ways), _TS_EMPTY, dtype=np.float64)
+        self.pend = np.zeros((n_lanes, ways), dtype=bool)
+        self.fill = np.zeros(n_lanes, dtype=np.int64)
+        self.touched = np.zeros(n_lanes, dtype=bool)
+        self.ts_base = 0.0
+
+    def materialize(self, v: int, sets_list: list, res: set, pend: set):
+        """Write variant *v*'s touched lanes back as reference-layout
+        per-set MRU-first lists plus residency/pending sets."""
+        base = v * self.num_sets
+        lanes = np.flatnonzero(self.touched[base:base + self.num_sets])
+        if not len(lanes):
+            return
+        ts = self.ts[base + lanes]
+        order = np.argsort(-ts, axis=1)  # descending stamp = MRU first
+        lines = np.take_along_axis(self.lines[base + lanes], order, axis=1)
+        occ = np.take_along_axis(ts, order, axis=1) > _TS_OCCUPIED
+        pend_m = np.take_along_axis(self.pend[base + lanes], order, axis=1)
+        res.update(lines[occ].tolist())
+        pm = pend_m & occ
+        if pm.any():
+            pend.update(lines[pm].tolist())
+        counts = occ.sum(axis=1).tolist()
+        for s, k, row in zip(lanes.tolist(), counts, lines.tolist()):
+            sets_list[s] = row[:k]
+
+
+def _lane_sweep(cache: _LaneCache, lanes: np.ndarray, lines: np.ndarray,
+                kinds: np.ndarray):
+    """Advance *cache* by one event stream; return per-event outcomes.
+
+    ``kinds``: 0 = data demand, 1 = instruction demand, 2 = prefetch
+    query+fill.  Demand semantics: hit → MRU touch, clear pending;
+    miss → evict LRU when full, fill at MRU, not pending.  Prefetch
+    semantics: hit → no state change; miss → evict LRU when full, fill
+    at depth ``pd`` (or the LRU end when shallower), pending.
+
+    Returns ``(hit, pend_cleared, evicted, evicted_pend, bad)`` — the
+    first four indexed per event, ``bad`` per lane (timestamp-midpoint
+    degeneracies; those lanes' variants must fall back).
+    """
+    n = len(lanes)
+    hit_out = np.zeros(n, dtype=bool)
+    pclr_out = np.zeros(n, dtype=bool)
+    ev_out = np.zeros(n, dtype=bool)
+    evp_out = np.zeros(n, dtype=bool)
+    bad = np.zeros(cache.n_lanes, dtype=bool)
+    if not n:
+        return hit_out, pclr_out, ev_out, evp_out, bad
+
+    # Rank the lanes that saw any event by event count, descending.
+    # Events pack densely from round 0, so at round r the active lanes
+    # are exactly ranks [0, k_r) — every per-round operation below runs
+    # on that prefix and total work is proportional to the event count,
+    # not lanes x rounds (the L3 stream is sparse over many lanes).
+    counts = np.bincount(lanes, minlength=cache.n_lanes)
+    used = np.flatnonzero(counts)
+    cache.touched[used] = True
+    ucounts = counts[used]
+    uorder = np.argsort(-ucounts, kind="stable")
+    lane_ids = used[uorder]
+    rcounts = ucounts[uorder]
+    n_used = len(lane_ids)
+    maxlen = int(rcounts[0])
+    rank_of = np.zeros(cache.n_lanes, dtype=np.int64)
+    rank_of[lane_ids] = np.arange(n_used, dtype=np.int64)
+    k_r = np.searchsorted(-rcounts, -np.arange(maxlen, dtype=np.int64),
+                          side="left")
+
+    order = np.argsort(lanes, kind="stable")
+    sl = lanes[order]
+    starts = np.zeros(cache.n_lanes + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    within = np.arange(n, dtype=np.int64) - starts[sl]
+    rr = rank_of[sl]
+    # round-major layout: each round's slice is a contiguous prefix
+    # view; only [round, :k_r] cells are ever read, so empty is safe
+    cols = np.empty((maxlen, n_used), dtype=np.int64)
+    cols[within, rr] = lines[order]
+    kmat = np.empty((maxlen, n_used), dtype=np.int8)
+    kmat[within, rr] = kinds[order]
+    posm = np.empty((maxlen, n_used), dtype=np.int64)
+    posm[within, rr] = order
+
+    # rank-ordered working copies of the touched lanes' state
+    s_lines = cache.lines[lane_ids]
+    s_ts = cache.ts[lane_ids]
+    s_pend = cache.pend[lane_ids]
+    s_fill = cache.fill[lane_ids]
+    ways = cache.ways
+    pd = cache.pd
+    ts_base = cache.ts_base
+    badv = np.zeros(n_used, dtype=bool)
+    aridx = np.arange(n_used, dtype=np.int64)
+
+    for r in range(maxlen):
+        k = int(k_r[r])
+        col = cols[r, :k]
+        kk = kmat[r, :k]
+        eq = s_lines[:k] == col[:, None]
+        way_hit = eq.argmax(axis=1)
+        hitvec = eq[aridx[:k], way_hit]
+        ts_now = ts_base + float(r)
+        demand = kk < 2
+        p = posm[r, :k]
+        hit_out[p] = hitvec
+
+        # demand hits: MRU touch + pending clear
+        dhl = np.flatnonzero(demand & hitvec)
+        if len(dhl):
+            w = way_hit[dhl]
+            pclr_out[p[dhl]] = s_pend[dhl, w]
+            s_ts[dhl, w] = ts_now
+            s_pend[dhl, w] = False
+
+        ml = np.flatnonzero(~hitvec)
+        if len(ml):
+            # victim bookkeeping (before any overwrite)
+            fill_m = s_fill[ml]
+            full_m = fill_m >= ways
+            victim = s_ts[ml].argmin(axis=1)
+            evl = np.flatnonzero(full_m)
+            if len(evl):
+                ev_out[p[ml[evl]]] = True
+                evp_out[p[ml[evl]]] = s_pend[ml[evl], victim[evl]]
+            place = np.where(full_m, victim, np.minimum(fill_m, ways - 1))
+            dm = demand[ml]
+
+            # demand-miss fills: MRU insert
+            dml = ml[dm]
+            if len(dml):
+                w = place[dm]
+                s_lines[dml, w] = col[dml]
+                s_ts[dml, w] = ts_now
+                s_pend[dml, w] = False
+
+            # prefetch-miss fills: evict-first depth insert
+            pml = ml[~dm]
+            if len(pml):
+                sel = ~dm
+                asc = np.sort(s_ts[pml], axis=1)
+                # occupied ways *after* the eviction the reference does first
+                occ_eff = fill_m[sel] - full_m[sel]
+                ts_new = np.full(len(pml), ts_now)
+                if pd > 0:
+                    ti = np.flatnonzero((occ_eff > 0) & (occ_eff <= pd))
+                    if len(ti):
+                        # insert at the LRU end: below the post-evict minimum
+                        ts_new[ti] = asc[ti, ways - occ_eff[ti]] - 1.0
+                    di = np.flatnonzero(occ_eff > pd)
+                    if len(di):
+                        # between descending ranks pd-1 and pd (both survive
+                        # the eviction: rank indices never reach the minimum)
+                        upper = asc[di, ways - pd]
+                        lower = asc[di, ways - 1 - pd]
+                        mid = (upper + lower) * 0.5
+                        degen = (mid <= lower) | (mid >= upper)
+                        if degen.any():
+                            badv[pml[di[degen]]] = True
+                        ts_new[di] = mid
+                w = place[sel]
+                s_lines[pml, w] = col[pml]
+                s_ts[pml, w] = ts_new
+                s_pend[pml, w] = True
+
+            nf = ml[~full_m]
+            s_fill[nf] += 1
+
+    cache.lines[lane_ids] = s_lines
+    cache.ts[lane_ids] = s_ts
+    cache.pend[lane_ids] = s_pend
+    cache.fill[lane_ids] = s_fill
+    cache.ts_base = ts_base + maxlen
+    bad[lane_ids[badv]] = True
+    return hit_out, pclr_out, ev_out, evp_out, bad
+
+
+def _batched_phase_a(ctx: PlanContext, carry: PlanCarry, inflight: Dict[int, int],
+                     rows_list: list, site_plan: list, reset_local,
+                     issue_base: int):
+    """Per-variant decision replay: issues, the L1I sweep, no timing.
+
+    Mutates the carry's L1 structures and counters exactly as the
+    reference does (pop-misses speculated on-time), maintains
+    *inflight* as line → global issue index, and returns the variant's
+    event streams: ``(a_t, a_kind, a_line)`` for phase B (kind 1 =
+    instruction demand miss, 2 = prefetch query) and
+    ``(tev_t, tev_kind, tev_issue)`` for phase C (kind 0 = pop-hit,
+    1 = pop-miss, 2 = plain miss), plus the next global issue index.
+    """
+    l1_sets = carry.l1_sets
+    l1_res = carry.l1_res
+    l1_pend = carry.l1_pend
+    l1_ns = ctx.l1_ns
+    l1_ways = ctx.l1_ways
+    pd1 = ctx.pd1
+    pairs_list = ctx.pairs_list
+    inflight_pop = inflight.pop
+
+    sim_misses = carry.sim_misses
+    issued = carry.issued
+    resident = carry.resident
+    l1_dh, l1_dm, l1_ph = carry.l1_dh, carry.l1_dm, carry.l1_ph
+    l1_pf, l1_pu, l1_ev = carry.l1_pf, carry.l1_pu, carry.l1_ev
+    boundary = reset_local if reset_local is not None else -1
+
+    a_t: list = []
+    a_kind: list = []
+    a_line: list = []
+    tev_t: list = []
+    tev_kind: list = []
+    tev_issue: list = []
+    ap_t = a_t.append
+    ap_kind = a_kind.append
+    ap_line = a_line.append
+    tp_t = tev_t.append
+    tp_kind = tev_kind.append
+    tp_issue = tev_issue.append
+    n_issues = issue_base
+
+    for t, (row, plan_entry) in enumerate(zip(rows_list, site_plan)):
+        if t == boundary:
+            sim_misses = issued = resident = 0
+            l1_dh = l1_dm = l1_ph = l1_pf = l1_pu = l1_ev = 0
+
+        if plan_entry is not None:
+            for targets in plan_entry[0]:
+                if targets is None:
+                    continue
+                for line in targets:
+                    if line in inflight:
+                        resident += 1
+                        continue
+                    si1 = line % l1_ns
+                    s1 = l1_sets[si1]
+                    if s1 is None:
+                        s1 = []
+                        l1_sets[si1] = s1
+                    if line in l1_res:
+                        resident += 1
+                        continue
+                    # L2/L3 query + conditional fills: a phase-B event
+                    ap_t(t)
+                    ap_kind(2)
+                    ap_line(line)
+                    if len(s1) >= l1_ways:
+                        victim = s1.pop()
+                        l1_res.discard(victim)
+                        l1_ev += 1
+                        if victim in l1_pend:
+                            l1_pend.discard(victim)
+                            l1_pu += 1
+                    s1.insert(pd1 if pd1 < len(s1) else len(s1), line)
+                    l1_res.add(line)
+                    l1_pf += 1
+                    l1_pend.add(line)
+                    issued += 1
+                    inflight[line] = n_issues
+                    n_issues += 1
+
+        for line, si1 in pairs_list[row]:
+            idx = inflight_pop(line, None)
+            s1 = l1_sets[si1]
+            if s1 is None:
+                s1 = []
+                l1_sets[si1] = s1
+            elif s1 and s1[0] == line:
+                l1_dh += 1
+                if line in l1_pend:
+                    l1_pend.discard(line)
+                    l1_ph += 1
+                if idx is not None:
+                    tp_t(t)
+                    tp_kind(0)
+                    tp_issue(idx)
+                continue
+            elif line in l1_res:
+                s1.remove(line)
+                s1.insert(0, line)
+                l1_dh += 1
+                if line in l1_pend:
+                    l1_pend.discard(line)
+                    l1_ph += 1
+                if idx is not None:
+                    tp_t(t)
+                    tp_kind(0)
+                    tp_issue(idx)
+                continue
+            # L1 miss — on-time speculated when it popped an in-flight
+            # line; phase C verifies the arrival actually beat the pop.
+            l1_dm += 1
+            ap_t(t)
+            ap_kind(1)
+            ap_line(line)
+            tp_t(t)
+            if idx is not None:
+                tp_kind(1)
+                tp_issue(idx)
+            else:
+                tp_kind(2)
+                tp_issue(-1)
+            if len(s1) >= l1_ways:
+                victim = s1.pop()
+                l1_res.discard(victim)
+                l1_ev += 1
+                if victim in l1_pend:
+                    l1_pend.discard(victim)
+                    l1_pu += 1
+            s1.insert(0, line)
+            l1_res.add(line)
+            sim_misses += 1
+
+    carry.sim_misses = sim_misses
+    carry.issued = issued
+    carry.resident = resident
+    carry.l1_dh, carry.l1_dm, carry.l1_ph = l1_dh, l1_dm, l1_ph
+    carry.l1_pf, carry.l1_pu, carry.l1_ev = l1_pf, l1_pu, l1_ev
+    return (a_t, a_kind, a_line), (tev_t, tev_kind, tev_issue), n_issues
+
+
+def _batched_timing_fold(ctx: PlanContext, carry: PlanCarry, arrivals: list,
+                         rows_list: list, site_plan: list, reset_local,
+                         iss_t: list, iss_level: list,
+                         tev_t: list, tev_kind: list, tev_issue: list,
+                         instr_level: list) -> bool:
+    """Replay the reference loop's float operations in identical order.
+
+    Appends one arrival per issue to *arrivals* (indexed by the global
+    issue indices phase A handed out) and verifies phase A's on-time
+    speculation for every pop-miss.  Returns ``False`` — the variant
+    must fall back — when a popped line's arrival had not yet landed.
+    """
+    now = carry.now
+    busy = carry.busy
+    frontend_stalls = carry.frontend_stalls
+    late_hits = carry.late_hits
+    late_stall = carry.late_stall
+    penalty = ctx.penalty
+    occupancy = ctx.occupancy
+    incr_row = ctx.incr_row
+    boundary = reset_local if reset_local is not None else -1
+    arrivals_append = arrivals.append
+
+    ii = 0
+    ni = len(iss_t)
+    ti = 0
+    nt = len(tev_t)
+    il = 0
+
+    for t, row in enumerate(rows_list):
+        if t == boundary:
+            frontend_stalls = 0.0
+            late_hits = 0
+            late_stall = 0.0
+        plan_entry = site_plan[t]
+        if plan_entry is not None:
+            while ii < ni and iss_t[ii] == t:
+                level = iss_level[ii]
+                start = now if now > busy else busy
+                busy = start + occupancy[level]
+                arrivals_append(start + penalty[level])
+                ii += 1
+            now += plan_entry[1]
+        stall = 0.0
+        while ti < nt and tev_t[ti] == t:
+            kind = tev_kind[ti]
+            if kind == 0:  # pop-hit: late check only
+                arrival = arrivals[tev_issue[ti]]
+                if arrival > now + stall:
+                    remainder = arrival - (now + stall)
+                    stall += remainder
+                    late_hits += 1
+                    late_stall += remainder
+            else:
+                if kind == 1:  # pop-miss: verify the on-time speculation
+                    arrival = arrivals[tev_issue[ti]]
+                    if arrival > now + stall:
+                        return False
+                level = instr_level[il]
+                il += 1
+                start = now + stall
+                if start < busy:
+                    start = busy
+                busy = start + occupancy[level]
+                stall = (start + penalty[level]) - now
+            ti += 1
+        if stall:
+            frontend_stalls += stall
+            now += stall
+        now += incr_row[row]
+
+    carry.now = now
+    carry.busy = busy
+    carry.frontend_stalls = frontend_stalls
+    carry.late_hits = late_hits
+    carry.late_stall = late_stall
+    return True
+
+
+class _BatchSlot:
+    """One variant's mutable state inside a :class:`PlanBatch`."""
+
+    __slots__ = (
+        "index", "stats", "engine", "hierarchy", "data_traffic",
+        "ctx", "carry", "inflight", "arrivals", "n_issues",
+        "alive", "reason",
+    )
+
+    def __init__(self, index, stats, engine, hierarchy, data_traffic):
+        self.index = index
+        self.stats = stats
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.data_traffic = data_traffic
+        self.ctx = None
+        self.carry = None
+        self.inflight: Dict[int, int] = {}
+        self.arrivals: list = []
+        self.n_issues = 0
+        self.alive = True
+        self.reason: Optional[str] = None
+
+    def fail(self, reason: str) -> None:
+        self.alive = False
+        self.reason = reason
+        get_tracer().instant(
+            "sim:batch-fallback", slot=self.index, reason=reason
+        )
+
+
+class PlanBatch:
+    """Shared-pass evaluation state for V plan variants.
+
+    Construct with per-variant ``(stats, engine, hierarchy,
+    data_traffic)`` tuples, feed trace shards through
+    :meth:`run_shard`, then :meth:`finish`.  Ineligible variants drop
+    out with a traced reason at the earliest point it is known —
+    before any of their externally visible state mutates — and
+    :meth:`results` reports ``None`` (batched) or the fallback reason
+    per slot.  A failed slot's stats/engine/hierarchy are untouched,
+    but its data-traffic model may have advanced: rerun it with fresh
+    objects through the per-variant path.
+    """
+
+    def __init__(self, program: Program, machine: MachineParams, slots):
+        self.program = program
+        self.machine = machine
+        self.view = columnar_view(program)
+        self.slots = [
+            _BatchSlot(i, *slot) for i, slot in enumerate(slots)
+        ]
+        pds = None
+        for slot in self.slots:
+            if slot.engine is None:
+                slot.fail("no-plan")
+                continue
+            if not slot.engine.is_pristine():
+                slot.fail("engine-state")
+                continue
+            ctx = PlanContext(program, machine, slot.engine, slot.hierarchy)
+            if min(ctx.penalty[1:]) <= 0.0:
+                slot.fail("nonpositive-latency")
+                continue
+            if pds is None:
+                pds = (ctx.pd1, ctx.pd2, ctx.pd3)
+            elif (ctx.pd1, ctx.pd2, ctx.pd3) != pds:
+                # one _LaneCache insertion depth serves every lane
+                slot.fail("nonuniform-geometry")
+                continue
+            slot.ctx = ctx
+            slot.carry = PlanCarry(ctx)
+        n = len(self.slots)
+        if pds is None:
+            pds = (machine.l1i.ways // 2, machine.l2.ways // 2,
+                   machine.l3.ways // 2)
+        self.l2 = _LaneCache(n, machine.l2.num_sets, machine.l2.ways, pds[1])
+        self.l3 = _LaneCache(n, machine.l3.num_sets, machine.l3.ways, pds[2])
+        #: cumulative wall seconds per internal phase, for honest
+        #: benchmark decompositions (observation only — never consulted
+        #: by the replay itself)
+        self.phase_seconds: Dict[str, float] = {}
+
+    def _mark(self, phase: str, t0: float) -> float:
+        now = time.perf_counter()
+        self.phase_seconds[phase] = (
+            self.phase_seconds.get(phase, 0.0) + now - t0
+        )
+        return now
+
+    def live(self):
+        return [s for s in self.slots if s.alive]
+
+    def run_shard(self, rows, offset: int = 0, eff: int = 0) -> None:
+        """Advance every live variant across one trace shard."""
+        live = self.live()
+        if not live:
+            return
+        view = self.view
+        n_local = len(rows)
+        reset_local = (
+            eff - offset if offset <= eff < offset + n_local else None
+        )
+        rows_list = rows.tolist()
+        counts_list = view.instruction_counts[rows].tolist()
+
+        # Per-variant decision tables; a counter-overflow bails the slot
+        # out here, before anything (carry, data model) has mutated.
+        t0 = time.perf_counter()
+        pres = {}
+        shared_pre: dict = {}
+        for slot in live:
+            pre = _plan_shard_precompute(
+                slot.ctx, slot.carry, rows, offset, eff, shared=shared_pre
+            )
+            if pre is None:
+                slot.fail("bloom-overflow")
+            else:
+                pres[slot.index] = pre
+        t0 = self._mark("precompute", t0)
+        live = [s for s in live if s.alive]
+        if not live:
+            return
+
+        # Shared trace decode: each variant advances its own model, but
+        # identical model states hit the decode cache and come back as
+        # the same list objects, so the derived arrays are built once.
+        d_arrays: Dict[int, tuple] = {}
+        d_by_slot = {}
+        for slot in live:
+            dl, dc = _decode_data_stream(slot.data_traffic, counts_list)
+            entry = d_arrays.get(id(dl))
+            if entry is None:
+                d_lines = np.asarray(dl, dtype=np.int64)
+                d_t = np.repeat(
+                    np.arange(n_local, dtype=np.int64),
+                    np.asarray(dc, dtype=np.int64),
+                ) if dl else np.empty(0, dtype=np.int64)
+                entry = (dl, d_lines, d_t)
+                d_arrays[id(dl)] = entry
+            d_by_slot[slot.index] = entry
+        self._mark("decode", t0)
+
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_shard_core(
+                live, pres, d_by_slot, rows_list, reset_local, rows
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_shard_core(self, live, pres, d_by_slot, rows_list, reset_local,
+                        rows):
+        view = self.view
+        l2_ns = self.l2.num_sets
+        l3_ns = self.l3.num_sets
+
+        # -- phase A + per-variant stream merge -------------------------
+        t0 = time.perf_counter()
+        seg_lines = []
+        seg_kinds = []
+        seg_t = []
+        voff = [0]
+        timing = {}
+        for slot in live:
+            pre = pres[slot.index]
+            (a_t, a_kind, a_line), tev, slot.n_issues = _batched_phase_a(
+                slot.ctx, slot.carry, slot.inflight, rows_list,
+                pre["site_plan"], reset_local, slot.n_issues,
+            )
+            timing[slot.index] = tev
+            _dl, d_lines, d_t = d_by_slot[slot.index]
+            na = len(a_t)
+            nd = len(d_t)
+            t_m = np.empty(na + nd, dtype=np.int64)
+            k_m = np.zeros(na + nd, dtype=np.int8)
+            l_m = np.empty(na + nd, dtype=np.int64)
+            if na:
+                at = np.asarray(a_t, dtype=np.int64)
+                # stable two-way merge by block: a variant's own events
+                # precede the block's data accesses, as in the reference
+                a_pos = np.arange(na, dtype=np.int64) + np.searchsorted(
+                    d_t, at, side="left"
+                )
+                t_m[a_pos] = at
+                k_m[a_pos] = np.asarray(a_kind, dtype=np.int8)
+                l_m[a_pos] = np.asarray(a_line, dtype=np.int64)
+                d_pos = np.arange(nd, dtype=np.int64) + np.searchsorted(
+                    at, d_t, side="right"
+                )
+            else:
+                d_pos = np.arange(nd, dtype=np.int64)
+            t_m[d_pos] = d_t
+            l_m[d_pos] = d_lines
+            seg_lines.append(l_m)
+            seg_kinds.append(k_m)
+            seg_t.append(t_m)
+            voff.append(voff[-1] + na + nd)
+
+        lines2 = np.concatenate(seg_lines) if seg_lines else np.empty(0, np.int64)
+        kinds2 = np.concatenate(seg_kinds) if seg_kinds else np.empty(0, np.int8)
+        t2 = np.concatenate(seg_t) if seg_t else np.empty(0, np.int64)
+        v_of = np.repeat(
+            np.asarray([s.index for s in live], dtype=np.int64),
+            np.diff(np.asarray(voff, dtype=np.int64)),
+        )
+        lanes2 = v_of * l2_ns + lines2 % l2_ns
+        t0 = self._mark("phase-a", t0)
+
+        # -- phase B: L2 sweep, then L3 over the L2 misses --------------
+        hit2, pclr2, ev2, evp2, bad2 = _lane_sweep(
+            self.l2, lanes2, lines2, kinds2
+        )
+        t0 = self._mark("sweep-l2", t0)
+        miss_idx = np.flatnonzero(~hit2)
+        lines3 = lines2[miss_idx]
+        kinds3 = kinds2[miss_idx]
+        t3 = t2[miss_idx]
+        lanes3 = v_of[miss_idx] * l3_ns + lines3 % l3_ns
+        hit3, pclr3, ev3, evp3, bad3 = _lane_sweep(
+            self.l3, lanes3, lines3, kinds3
+        )
+        t0 = self._mark("sweep-l3", t0)
+
+        # per-event fill level: 1 = L2 hit, 2 = L3 hit, 3 = memory
+        level2 = np.where(hit2, 1, 3).astype(np.int64)
+        level2[miss_idx[hit3]] = 2
+
+        bad_v = set(
+            (np.flatnonzero(bad2) // l2_ns).tolist()
+            + (np.flatnonzero(bad3) // l3_ns).tolist()
+        )
+        # variant slices stay contiguous through the miss filter
+        voff3 = np.searchsorted(miss_idx, np.asarray(voff, dtype=np.int64))
+
+        for pos, slot in enumerate(live):
+            if slot.index in bad_v:
+                slot.fail("ts-collision")
+                continue
+            pre = pres[slot.index]
+            carry = slot.carry
+            s2 = slice(voff[pos], voff[pos + 1])
+            s3 = slice(int(voff3[pos]), int(voff3[pos + 1]))
+            self._fold_level_counters(
+                carry, reset_local, t2[s2], kinds2[s2],
+                hit2[s2], pclr2[s2], ev2[s2], evp2[s2], "l2",
+            )
+            self._fold_level_counters(
+                carry, reset_local, t3[s3], kinds3[s3],
+                hit3[s3], pclr3[s3], ev3[s3], evp3[s3], "l3",
+            )
+
+            # -- phase C: the float fold + speculation check ------------
+            k_v = kinds2[s2]
+            pf_sel = k_v == 2
+            in_sel = k_v == 1
+            iss_t = t2[s2][pf_sel].tolist()
+            iss_level = level2[s2][pf_sel].tolist()
+            instr_level = level2[s2][in_sel].tolist()
+            tev_t, tev_kind, tev_issue = timing[slot.index]
+            if not _batched_timing_fold(
+                slot.ctx, carry, slot.arrivals, rows_list,
+                pre["site_plan"], reset_local,
+                iss_t, iss_level, tev_t, tev_kind, tev_issue, instr_level,
+            ):
+                slot.fail("late-prefetch-miss")
+                continue
+
+            # -- vectorized-precompute counters and the carried tails ---
+            if reset_local is None:
+                carry.suppressed += pre["suppressed"]
+                carry.executed += pre["executed"]
+                carry.l1i_accesses += pre["l1i_accesses"]
+                carry.program_instructions += pre["program_instructions"]
+            else:
+                carry.suppressed = pre["suppressed"]
+                carry.executed = pre["executed"]
+                carry.l1i_accesses = pre["l1i_accesses"]
+                carry.program_instructions = pre["program_instructions"]
+            carry.tp += pre["tp"]
+            carry.fp += pre["fp"]
+            ctx = slot.ctx
+            if ctx.tracker is not None:
+                carry.tracker_tail = (
+                    carry.tracker_tail + pre["new_hashed"]
+                )[-ctx.depth:]
+            if ctx.exact_hist is not None and ctx.exact_depth:
+                ids_tail = [
+                    int(b)
+                    for b in view.block_ids[rows[-ctx.exact_depth:]].tolist()
+                ]
+                carry.exact_tail = (
+                    carry.exact_tail + ids_tail
+                )[-ctx.exact_depth:]
+        self._mark("fold", t0)
+
+    @staticmethod
+    def _fold_level_counters(carry, reset_local, t_v, k_v, hit_v, pclr_v,
+                             ev_v, evp_v, prefix):
+        """Apply one level's event outcomes to the carry counters with
+        the loop's since-last-reset convention."""
+        if reset_local is not None:
+            post = t_v >= reset_local
+            dh = int((hit_v & (k_v < 2) & post).sum())
+            ph = int((pclr_v & post).sum())
+            dm = int((~hit_v & (k_v < 2) & post).sum())
+            pf = int((~hit_v & (k_v == 2) & post).sum())
+            ev = int((ev_v & post).sum())
+            pu = int((evp_v & post).sum())
+            ch = int((hit_v & (k_v == 1) & post).sum())
+            cmiss = int((~hit_v & (k_v == 1) & post).sum())
+        else:
+            k_dem = k_v < 2
+            dh = int((hit_v & k_dem).sum())
+            ph = int(pclr_v.sum())
+            dm = int((~hit_v & k_dem).sum())
+            pf = int((~hit_v & (k_v == 2)).sum())
+            ev = int(ev_v.sum())
+            pu = int(evp_v.sum())
+            ch = int((hit_v & (k_v == 1)).sum())
+            cmiss = int((~hit_v & (k_v == 1)).sum())
+        if prefix == "l2":
+            if reset_local is not None:
+                carry.l2_dh, carry.l2_ph, carry.l2_dm = dh, ph, dm
+                carry.l2_pf, carry.l2_ev, carry.l2_pu = pf, ev, pu
+                carry.c2 = ch
+            else:
+                carry.l2_dh += dh
+                carry.l2_ph += ph
+                carry.l2_dm += dm
+                carry.l2_pf += pf
+                carry.l2_ev += ev
+                carry.l2_pu += pu
+                carry.c2 += ch
+        else:
+            if reset_local is not None:
+                carry.l3_dh, carry.l3_ph, carry.l3_dm = dh, ph, dm
+                carry.l3_pf, carry.l3_ev, carry.l3_pu = pf, ev, pu
+                carry.c3, carry.cm = ch, cmiss
+            else:
+                carry.l3_dh += dh
+                carry.l3_ph += ph
+                carry.l3_dm += dm
+                carry.l3_pf += pf
+                carry.l3_ev += ev
+                carry.l3_pu += pu
+                carry.c3 += ch
+                carry.cm += cmiss
+
+    def finish(self) -> None:
+        """Materialize lane state and populate every live variant's
+        stats/hierarchy/engine exactly as :func:`_plan_finish` would."""
+        t0 = time.perf_counter()
+        for pos, slot in enumerate(self.slots):
+            if not slot.alive:
+                continue
+            carry = slot.carry
+            self.l2.materialize(
+                slot.index, carry.l2_sets, carry.l2_res, carry.l2_pend
+            )
+            self.l3.materialize(
+                slot.index, carry.l3_sets, carry.l3_res, carry.l3_pend
+            )
+            arrivals = slot.arrivals
+            carry.inflight = {
+                line: arrivals[i] for line, i in slot.inflight.items()
+            }
+            _plan_finish(
+                slot.ctx, carry, slot.stats, slot.hierarchy, slot.engine
+            )
+        self._mark("finish", t0)
+
+    def results(self) -> List[Optional[str]]:
+        return [slot.reason for slot in self.slots]
+
+
+def batched_plan_replay(program, trace, machine, slots, warmup: int = 0):
+    """Evaluate V plan variants in a single pass over *trace*.
+
+    *slots* is a sequence of per-variant ``(stats, engine, hierarchy,
+    data_traffic)`` tuples, mirroring :func:`plan_replay`'s per-run
+    arguments.  Returns a list of per-slot outcomes: ``None`` when the
+    slot was batched (its stats/hierarchy/engine are now bit-identical
+    to an independent :func:`plan_replay` run), else the fallback
+    reason string.  Failed slots' stats/engine/hierarchy are left
+    untouched, but their data-traffic models may have advanced — rerun
+    them through the per-variant path with freshly built objects.
+    """
+    batch = PlanBatch(program, machine, slots)
+    view = columnar_view(program)
+    rows = view.trace_rows(trace)
+    n = len(rows)
+    eff = warmup if 0 < warmup < n else 0
+    batch.run_shard(rows, 0, eff)
+    batch.finish()
+    return batch.results()

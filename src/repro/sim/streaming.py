@@ -805,6 +805,99 @@ def _run_plan_stream(
         checkpointer.finalize(len(bounds))
 
 
+def run_plan_batch(
+    cores,
+    trace,
+    warmup: int = 0,
+    shard_insns: Optional[int] = None,
+) -> List[Optional[str]]:
+    """Evaluate every core's plan in one pass over *trace*, optionally
+    shard-streamed.
+
+    *cores* are :class:`~repro.sim.cpu.CoreSimulator` instances (one
+    per variant, pristine state).  Returns per-slot outcomes exactly
+    like :func:`~repro.sim.array_replay.batched_plan_replay`: ``None``
+    when the slot was batched — its stats/hierarchy/engine are now
+    bit-identical to the per-variant replay with the same
+    ``shard_insns`` — else the fallback reason; failed slots must be
+    rerun through the per-variant path with fresh objects.
+
+    With ``shard_insns`` the trace is cut on the same greedy
+    instruction bounds as :func:`run_sharded`, the variant axis runs
+    inside each shard, and every variant's reported counters flow
+    through the per-variant :class:`ShardStats` merge, mirroring the
+    sequential sharded driver's algebra.
+    """
+    from .array_replay import PlanBatch
+    from .columnar import columnar_view
+
+    program = cores[0].program
+    machine = cores[0].machine
+    tracer = get_tracer()
+    view = columnar_view(program)
+    rows_full = view.trace_rows(trace)
+    total = len(rows_full)
+    eff = warmup if 0 < warmup < total else 0
+    batch = PlanBatch(
+        program,
+        machine,
+        [(c.stats, c.engine, c.hierarchy, c.data_traffic) for c in cores],
+    )
+    if not kernel.numpy_enabled():
+        for slot in batch.slots:
+            if slot.alive:
+                slot.fail("kernel-disabled")
+    for core, slot in zip(cores, batch.slots):
+        if not core._hierarchy_pristine() and slot.alive:
+            slot.fail("state-not-pristine")
+
+    bounds = (
+        view.shard_bounds(rows_full, shard_insns)
+        if shard_insns
+        else [(0, total)]
+    )
+    with tracer.span(
+        "sim:batch",
+        program=program.name,
+        blocks=total,
+        variants=len(cores),
+        shards=len(bounds),
+    ) as span:
+        if len(bounds) <= 1:
+            batch.run_shard(rows_full, 0, eff)
+            batch.finish()
+        else:
+            merged: Dict[int, ShardStats] = {}
+            prev: Dict[int, SimStats] = {
+                s.index: _plan_snapshot(s.ctx, s.carry) for s in batch.live()
+            }
+            for index, (start, stop) in enumerate(bounds):
+                with tracer.span("sim:shard", index=index, offset=start):
+                    batch.run_shard(rows_full[start:stop], start, eff)
+                for slot in batch.live():
+                    cur = _plan_snapshot(slot.ctx, slot.carry)
+                    delta = ShardStats.delta(index, prev[slot.index], cur)
+                    acc = merged.get(slot.index)
+                    merged[slot.index] = (
+                        delta if acc is None else acc.merge(delta)
+                    )
+                    prev[slot.index] = cur
+            batch.finish()
+            for slot in batch.slots:
+                if slot.alive and slot.reason is None:
+                    _apply_merged(slot.stats, merged[slot.index])
+        reasons = batch.results()
+        span.set(fallbacks=sum(r is not None for r in reasons))
+    for core, reason in zip(cores, reasons):
+        if reason is None:
+            core.last_replay_backend = "columnar-plan-batch"
+            core.last_fallback_reason = None
+        # the batch's internal wall-clock decomposition, for honest
+        # benchmark reporting (observation only)
+        core.last_batch_phases = dict(batch.phase_seconds)
+    return reasons
+
+
 # -- parallel drivers --------------------------------------------------------
 
 

@@ -1,0 +1,228 @@
+"""Differential tests: plan-batched replay vs per-variant replay.
+
+The batched backend (:func:`repro.sim.streaming.run_plan_batch` /
+:func:`repro.sim.array_replay.batched_plan_replay`) evaluates a whole
+variant set in one pass over the trace.  Its contract is exact: every
+successfully batched variant must be ``==`` the same variant replayed
+on its own — every statistic, the final residency of every cache
+level, and the prefetch engine's runtime state — against both the
+reference loop and the columnar backend, for every batch width and
+shard budget.  A variant the batch cannot take must come back with a
+traced reason and untouched stats, and rerunning it solo (fresh
+objects) must produce the independent answer.
+
+Inputs come from the seeded factories in ``tests/conftest.py``; the
+seed alone reproduces any failure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernel
+from repro.sim.cpu import CoreSimulator
+from repro.sim.datatraffic import make_data_traffic
+from repro.sim.stats import SimStats
+from repro.sim.streaming import run_plan_batch
+
+from ..conftest import (
+    engine_state,
+    hierarchy_state,
+    make_random_plan,
+    make_random_program,
+    make_random_trace,
+)
+
+#: whole-trace, one block per shard, an awkward prime, one huge shard
+SHARD_SIZES = (None, 1, 37, 10**9)
+
+#: batch widths: degenerate singleton batches, pairs, the whole sweep
+WIDTHS = (1, 2, None)
+
+
+def _traffic(seed):
+    if seed is None:
+        return None
+    return make_data_traffic(
+        rate_per_instruction=0.05, working_set_kib=64, seed=seed
+    )
+
+
+def _core(program, plan, traffic_seed):
+    return CoreSimulator(program, plan=plan, data_traffic=_traffic(traffic_seed))
+
+
+def _snap(core):
+    return (core.stats, hierarchy_state(core), engine_state(core))
+
+
+def _solo(program, trace, plans, backend, warmup=0, shard_insns=None,
+          traffic_seed=None):
+    """Per-variant replays through the named sequential backend."""
+    gate = (
+        kernel.reference_path
+        if backend == "reference"
+        else kernel.force_numpy_kernel
+    )
+    snaps = []
+    for plan in plans:
+        with gate():
+            core = _core(program, plan, traffic_seed)
+            core.run(trace, warmup=warmup, shard_insns=shard_insns)
+        snaps.append(_snap(core))
+    return snaps
+
+
+def _batched(program, trace, plans, width, warmup=0, shard_insns=None,
+             traffic_seed=None):
+    """Batched replays, the sweep cut into batches of *width*."""
+    step = len(plans) if width is None else width
+    snaps = []
+    for lo in range(0, len(plans), step):
+        chunk = plans[lo:lo + step]
+        cores = [_core(program, plan, traffic_seed) for plan in chunk]
+        reasons = run_plan_batch(
+            cores, trace, warmup=warmup, shard_insns=shard_insns
+        )
+        for core, reason in zip(cores, reasons):
+            assert reason is None, f"unexpected fallback: {reason}"
+            assert core.last_replay_backend == "columnar-plan-batch"
+            snaps.append(_snap(core))
+    return snaps
+
+
+def _plan_set(rng, program):
+    """A sweep-like variant set: same program, varying plan density."""
+    return [
+        make_random_plan(rng, program, n_sites=sites)
+        for sites in (2, 5, 8, 11)
+    ]
+
+
+class TestBatchedMatchesSequential:
+    """Batched == per-variant, across backends × widths × shards."""
+
+    @pytest.mark.parametrize("shard_insns", SHARD_SIZES)
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_width_and_shard_grid(self, width, shard_insns):
+        rng = random.Random(4242)
+        program = make_random_program(rng, n_blocks=64)
+        trace = make_random_trace(rng, 64, length=700, fanout=3)
+        plans = _plan_set(rng, program)
+        reference = _solo(program, trace, plans, "reference",
+                          shard_insns=shard_insns)
+        columnar = _solo(program, trace, plans, "columnar",
+                         shard_insns=shard_insns)
+        assert columnar == reference
+        batched = _batched(program, trace, plans, width,
+                           shard_insns=shard_insns)
+        assert batched == reference
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_warmup_and_data_traffic(self, width):
+        """The warmup reset and the data-traffic RNG stream both land
+        identically inside a batch."""
+        rng = random.Random(77)
+        program = make_random_program(rng, n_blocks=48)
+        trace = make_random_trace(rng, 48, length=600, fanout=2)
+        plans = _plan_set(rng, program)
+        for warmup, shard_insns in ((100, None), (100, 53), (599, None)):
+            reference = _solo(program, trace, plans, "reference",
+                              warmup=warmup, shard_insns=shard_insns,
+                              traffic_seed=999)
+            batched = _batched(program, trace, plans, width, warmup=warmup,
+                               shard_insns=shard_insns, traffic_seed=999)
+            assert batched == reference, (warmup, shard_insns)
+
+
+class TestFallbacks:
+    """Ineligible variants bounce with a reason; the rest still batch."""
+
+    def test_no_plan_and_dirty_engine_slots(self):
+        rng = random.Random(11)
+        program = make_random_program(rng, n_blocks=48)
+        trace = make_random_trace(rng, 48, length=500, fanout=3)
+        good = make_random_plan(rng, program, n_sites=6)
+        other = make_random_plan(rng, program, n_sites=3)
+
+        dirty = _core(program, other, None)
+        dirty.run(trace)  # engine state is no longer pristine
+
+        cores = [
+            _core(program, good, None),
+            _core(program, None, None),  # no plan to batch
+            dirty,
+            _core(program, other, None),
+        ]
+        reasons = run_plan_batch(cores, trace)
+        assert reasons[0] is None
+        assert reasons[1] == "no-plan"
+        assert reasons[2] is not None
+        assert reasons[3] is None
+
+        # failed slots left their stats untouched
+        assert cores[1].stats == SimStats()
+
+        # surviving slots are still exact
+        expected = _solo(program, trace, [good, other], "reference")
+        assert [_snap(cores[0]), _snap(cores[3])] == expected
+
+    def test_kernel_disabled_fails_every_slot(self):
+        rng = random.Random(12)
+        program = make_random_program(rng, n_blocks=24)
+        trace = make_random_trace(rng, 24, length=200)
+        plans = [make_random_plan(rng, program, n_sites=4) for _ in range(2)]
+        cores = [_core(program, plan, None) for plan in plans]
+        with kernel.reference_path():
+            reasons = run_plan_batch(cores, trace)
+        assert reasons == ["kernel-disabled", "kernel-disabled"]
+        for core in cores:
+            assert core.stats == SimStats()
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_batch_property(data):
+    """Randomized plan sets — including ``None`` (fallback) slots,
+    random widths, warmup and shard budgets — always reproduce the
+    per-variant answers exactly; fallback slots rerun solo from fresh
+    objects land on the independent answer too."""
+    seed = data.draw(st.integers(0, 2**20), label="seed")
+    rng = random.Random(seed)
+    n_blocks = data.draw(st.sampled_from((12, 48, 96)), label="n_blocks")
+    program = make_random_program(rng, n_blocks=n_blocks)
+    trace = make_random_trace(
+        rng, n_blocks,
+        length=data.draw(st.sampled_from((300, 700)), label="length"),
+        fanout=data.draw(st.sampled_from((1, 3, 8)), label="fanout"),
+    )
+    plans = [
+        make_random_plan(rng, program, n_sites=rng.randint(1, 10))
+        if data.draw(st.booleans(), label=f"has_plan_{i}")
+        else None
+        for i in range(data.draw(st.integers(1, 5), label="variants"))
+    ]
+    warmup = data.draw(st.sampled_from((0, 53)), label="warmup")
+    shard_insns = data.draw(st.sampled_from((None, 29)), label="shard")
+    traffic_seed = data.draw(st.sampled_from((None, 321)), label="traffic")
+
+    expected = _solo(program, trace, plans, "reference", warmup=warmup,
+                     shard_insns=shard_insns, traffic_seed=traffic_seed)
+
+    cores = [_core(program, plan, traffic_seed) for plan in plans]
+    reasons = run_plan_batch(cores, trace, warmup=warmup,
+                             shard_insns=shard_insns)
+    for i, (core, reason, plan) in enumerate(zip(cores, reasons, plans)):
+        if plan is None:
+            assert reason == "no-plan"
+        else:
+            assert reason is None, f"slot {i} fell back: {reason}"
+        if reason is not None:
+            # the fallback contract: rerun with fresh objects
+            core = _core(program, plan, traffic_seed)
+            core.run(trace, warmup=warmup, shard_insns=shard_insns)
+        assert _snap(core) == expected[i], f"slot {i}"
