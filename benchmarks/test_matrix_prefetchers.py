@@ -1,0 +1,111 @@
+"""Prefetcher matrix benchmark: the whole zoo on one yardstick.
+
+Runs every registered prefetcher (plus the no-prefetch baseline and
+the ideal bound) through the shared :class:`repro.baselines.Prefetcher`
+protocol over the sweep applications, and emits the comparison as
+``BENCH_prefetcher_matrix.json`` — the artifact CI diffs against the
+committed copy (``scripts/bench_diff.py`` fails the build if I-SPY's
+committed mean speedup regresses below 0.9x or the MANA row goes
+missing).
+
+Shape targets, not paper-point targets: I-SPY must beat AsmDB and the
+no-prefetch baseline, every profile-guided scheme must sit between
+baseline and ideal, and both footprint columns must be consistent
+with each member's capability flags (plan producers grow the text
+segment, metadata schemes pay storage instead).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.experiments import (
+    MATRIX_PREFETCHERS,
+    SWEEP_APPS,
+    matrix_prefetchers,
+)
+from repro.analysis.reporting import render_table
+from repro.baselines import protocol as zoo
+
+from .conftest import write_json, write_result
+
+
+def test_matrix_prefetchers(benchmark, medium_evaluator, results_dir):
+    rows = benchmark.pedantic(
+        matrix_prefetchers,
+        args=(medium_evaluator,),
+        kwargs={"apps": SWEEP_APPS},
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {row["prefetcher"]: row for row in rows}
+
+    table = render_table(
+        rows,
+        title=f"prefetcher matrix ({', '.join(SWEEP_APPS)})",
+        precision=4,
+    )
+    write_result(results_dir, "matrix_prefetchers", table)
+
+    # per-app detail rides along so a regression can be localized
+    detail = {}
+    for app in SWEEP_APPS:
+        evaluation = medium_evaluator[app]
+        detail[app] = {
+            name: {
+                "speedup": evaluation.speedup(name),
+                "l1i_mpki": evaluation.stats_for(name).l1i_mpki,
+            }
+            for name in MATRIX_PREFETCHERS
+        }
+
+    payload = {
+        "host": {"python": sys.version.split()[0]},
+        "workload": {
+            "apps": list(SWEEP_APPS),
+            "prefetchers": list(MATRIX_PREFETCHERS),
+        },
+        "capabilities": zoo.capability_rows(),
+        "rows": by_name,
+        "per_app": detail,
+    }
+    write_json(results_dir, "prefetcher_matrix", payload)
+
+    # the matrix is complete: every roster member, every column
+    assert len(rows) == len(MATRIX_PREFETCHERS) >= 7
+    for row in rows:
+        for column in (
+            "speedup",
+            "l1i_mpki",
+            "accuracy",
+            "coverage",
+            "static_increase",
+            "metadata_bytes",
+            "dynamic_overhead",
+        ):
+            assert isinstance(row[column], float), (row["prefetcher"], column)
+
+    # ordering sanity: baseline is the 1.0 anchor, ideal the roof
+    assert by_name["baseline"]["speedup"] == 1.0
+    for name in MATRIX_PREFETCHERS:
+        if name in ("baseline", "ideal"):
+            continue
+        assert by_name[name]["speedup"] < by_name["ideal"]["speedup"], name
+
+    # the paper's headline ordering survives the protocol port
+    assert by_name["ispy"]["speedup"] > by_name["asmdb"]["speedup"]
+    assert by_name["ispy"]["speedup"] > 1.0
+    assert by_name["asmdb"]["speedup"] > 1.0
+
+    # MANA is registered, trains, and pays in metadata rather than text
+    mana = by_name["mana"]
+    assert mana["speedup"] > 1.0
+    assert mana["metadata_bytes"] > 0.0
+    assert mana["static_increase"] == 0.0
+
+    # footprint accounting is consistent with the capability flags
+    for name in ("ispy", "asmdb", "contiguous8", "noncontiguous8"):
+        assert by_name[name]["static_increase"] > 0.0, name
+        assert by_name[name]["metadata_bytes"] == 0.0, name
+    assert by_name["fdip"]["metadata_bytes"] > 0.0
+    assert by_name["fdip"]["static_increase"] == 0.0

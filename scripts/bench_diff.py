@@ -14,6 +14,11 @@ guarded:
   speedup (one ``columnar-plan-batch`` pass vs per-variant
   ``columnar-plan`` replays).  This is a wall-clock ratio of two
   runs on the same host, so host speed divides out.
+* ``BENCH_prefetcher_matrix.json`` — I-SPY's mean *simulated*
+  speedup over the sweep apps from the prefetcher-matrix benchmark.
+  Simulated cycles are deterministic, so any drop is a genuine
+  modelling change, not noise; the guard also fails if the MANA row
+  disappears from the matrix (the zoo roster is a contract).
 
 The ratio guard absorbs ordinary timer noise while catching
 structural regressions (serial or per-variant work creeping back
@@ -56,6 +61,17 @@ def _batched_metric(payload: dict) -> float:
     return float(payload["measured"]["speedup"])
 
 
+def _matrix_metric(payload: dict) -> float:
+    rows = payload["rows"]
+    if "mana" not in rows:
+        raise SystemExit(
+            "bench-diff[prefetcher-matrix]: FAILED — the MANA row is "
+            "missing from the matrix; the zoo roster must keep every "
+            "registered member"
+        )
+    return float(rows["ispy"]["speedup"])
+
+
 GUARDS = {
     "parallel-shards": {
         "relpath": "benchmarks/results/BENCH_parallel_shards.json",
@@ -75,6 +91,18 @@ GUARDS = {
             "the plan-batched sweep's measured speedup regressed; "
             "check the batch_phase_seconds decomposition for "
             "per-variant work creeping into a shared phase, or "
+            "consciously recommit the benchmark JSON with "
+            "justification"
+        ),
+    },
+    "prefetcher-matrix": {
+        "relpath": "benchmarks/results/BENCH_prefetcher_matrix.json",
+        "metric": _matrix_metric,
+        "label": "I-SPY mean simulated speedup (prefetcher matrix)",
+        "hint": (
+            "I-SPY's simulated speedup in the prefetcher matrix "
+            "regressed; simulated cycles are deterministic, so this "
+            "is a real modelling/protocol change — fix it or "
             "consciously recommit the benchmark JSON with "
             "justification"
         ),

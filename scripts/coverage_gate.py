@@ -3,9 +3,10 @@
 
 Reads a ``coverage.py`` data file produced by running the tier-1 suite
 under ``coverage run``, aggregates line coverage over the gated source
-trees (``src/repro/sim/`` and ``src/repro/core/``), writes a
-machine-readable report, and fails when any gated tree drops below its
-baseline floor in ``scripts/coverage_baseline.json``.
+trees (``src/repro/sim/``, ``src/repro/core/`` and the prefetcher zoo
+``src/repro/baselines/``), writes a machine-readable report, and fails
+when any gated tree drops below its baseline floor in
+``scripts/coverage_baseline.json``.
 
 The gate is CI-only: when the ``coverage`` package is not installed
 (the local dev container deliberately omits it), the script prints a
@@ -35,6 +36,7 @@ DEFAULT_BASELINE = os.path.join(HERE, "coverage_baseline.json")
 GATED_TREES = {
     "src/repro/sim/": os.path.join("src", "repro", "sim") + os.sep,
     "src/repro/core/": os.path.join("src", "repro", "core") + os.sep,
+    "src/repro/baselines/": os.path.join("src", "repro", "baselines") + os.sep,
     "src/repro/sim/streaming.py": os.path.join(
         "src", "repro", "sim", "streaming.py"
     ),

@@ -10,8 +10,10 @@ Subpackages
 ``repro.core``       the I-SPY contribution: conditional prefetching,
                      prefetch coalescing, the Cprefetch/Lprefetch/
                      CLprefetch instruction family.
-``repro.baselines``  AsmDB, next-line, Contiguous-8/Non-contiguous-8,
-                     and the ideal cache.
+``repro.baselines``  the prefetcher zoo: the :class:`Prefetcher`
+                     protocol and registry, plus AsmDB, MANA, FDIP,
+                     next-line, Contiguous-8/Non-contiguous-8 and the
+                     ideal cache.
 ``repro.analysis``   metrics and the per-figure experiment harness.
 
 Quickstart
@@ -54,7 +56,10 @@ _EXPORTS = {
     "build_ispy_plan": "repro.core.ispy:build_ispy_plan",
     "PrefetchPlan": "repro.core.instructions:PrefetchPlan",
     "PrefetchInstr": "repro.core.instructions:PrefetchInstr",
-    # baselines
+    # baselines (the prefetcher zoo)
+    "Prefetcher": "repro.baselines.protocol:Prefetcher",
+    "get_prefetcher": "repro.baselines.protocol:get_prefetcher",
+    "prefetcher_names": "repro.baselines.protocol:prefetcher_names",
     "build_asmdb_plan": "repro.baselines.asmdb:build_asmdb_plan",
     "simulate_ideal": "repro.baselines.ideal:simulate_ideal",
     "simulate_nextline": "repro.baselines.nextline:simulate_nextline",

@@ -23,8 +23,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
-from ..baselines.fdip import simulate_fdip
-from ..baselines.nextline import simulate_nextline
+from ..baselines import protocol as zoo
 from ..core.config import DEFAULT_CONFIG
 from ..core.ispy import build_ispy_plan
 from ..profiling.profiler import profile_execution
@@ -171,16 +170,21 @@ def ablation_hardware_prefetcher(
     rows = []
     for evaluation in evaluator.apps(apps):
         row: Dict[str, object] = {"app": evaluation.name}
-        for n in lines_ahead:
-            stats = simulate_nextline(
-                evaluation.app.program,
+
+        def run(prefetcher: "zoo.Prefetcher"):
+            return prefetcher.simulate(
+                zoo.ProfileView(evaluation.app.program),
                 evaluation.eval_trace,
-                lines_ahead=n,
-                data_traffic=evaluation.app.data_traffic(
-                    seed=evaluation.app.spec.seed + 777
+                zoo.ReplayContext(
+                    data_traffic=evaluation.app.data_traffic(
+                        seed=evaluation.app.spec.seed + 777
+                    ),
+                    warmup=evaluator.settings.warmup,
                 ),
-                warmup=evaluator.settings.warmup,
             )
+
+        for n in lines_ahead:
+            stats = run(zoo.get_prefetcher("nextline", lines_ahead=n))
             row[f"nextline{n}_pct_of_ideal"] = metrics.percent_of_ideal(
                 evaluation.baseline_stats, stats, evaluation.ideal_stats
             )
@@ -188,16 +192,7 @@ def ablation_hardware_prefetcher(
         # and a large 4K-entry BTB (~32 KB).  Contrast with I-SPY's 96
         # bits of architectural state — the paper's storage argument.
         for label, capacity in (("fdip_small_btb", 512), ("fdip_large_btb", 4096)):
-            fdip = simulate_fdip(
-                evaluation.app.program,
-                evaluation.eval_trace,
-                runahead=16,
-                btb_capacity=capacity,
-                data_traffic=evaluation.app.data_traffic(
-                    seed=evaluation.app.spec.seed + 777
-                ),
-                warmup=evaluator.settings.warmup,
-            )
+            fdip = run(zoo.get_prefetcher("fdip", btb_capacity=capacity))
             row[f"{label}_pct_of_ideal"] = metrics.percent_of_ideal(
                 evaluation.baseline_stats, fdip, evaluation.ideal_stats
             )

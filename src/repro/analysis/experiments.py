@@ -24,18 +24,19 @@ import dataclasses
 import os
 import zlib
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import io as repro_io
 from .. import perf as perf_mod
 from ..obs import trace as trace_mod
-from ..baselines.asmdb import ASMDB_FANOUT_THRESHOLD, AsmDBResult, build_asmdb_plan
-from ..baselines.contiguous import build_window_plan, simulate_window_prefetcher
-from ..baselines.nextline import simulate_nextline
+from ..baselines import protocol as zoo
 from ..core.config import DEFAULT_CONFIG, ISpyConfig
 from ..core.instructions import PrefetchPlan
-from ..core.ispy import ISpyResult, build_ispy_plan
 from ..io import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.asmdb import AsmDBResult
+    from ..core.ispy import ISpyResult
 from ..profiling.profiler import ExecutionProfile, profile_execution
 from ..sim.cpu import CoreSimulator
 from ..sim.stats import SimStats
@@ -127,9 +128,12 @@ class AppEvaluation:
         self._eval_trace: Optional[BlockTrace] = None
         self._stats: Dict[str, SimStats] = {}
         self._sim_cache: Dict[str, SimStats] = {}
-        self._plans: Dict[str, PrefetchPlan] = {}
-        self._ispy_results: Dict[str, ISpyResult] = {}
-        self._asmdb_results: Dict[float, AsmDBResult] = {}
+        #: Prefetcher.cache_token -> train_result(), the in-memory
+        #: training cache shared by every variant and every
+        #: parameterized accessor (ispy_result/asmdb_result)
+        self._train_cache: Dict[str, object] = {}
+        #: registry instances, one per canonical variant name
+        self._prefetchers: Dict[str, zoo.Prefetcher] = {}
         self._base_parts: Optional[Dict[str, object]] = None
 
     # -- lazily built artifacts ------------------------------------------
@@ -276,12 +280,19 @@ class AppEvaluation:
         track_exact_context: bool = False,
         trace: Optional[BlockTrace] = None,
     ) -> SimStats:
-        """Replay the evaluation trace under *plan* (fresh caches)."""
+        """Replay the evaluation trace under *plan* (fresh caches).
+
+        The replay itself is the protocol's shared plan-replay path
+        (:meth:`repro.baselines.protocol.Prefetcher.simulate` via a
+        :class:`~repro.baselines.protocol.PlanReplay` adapter), so
+        every plan-shaped variant inherits the same backends.
+        """
         key = self._stats_key(plan, hash_bits, track_exact_context, trace)
         cached = self._cached_stats(key)
         if cached is not None:
             return cached
         replay = trace if trace is not None else self.eval_trace
+        replayer = zoo.PlanReplay(plan)
         with self.perf.stage("simulate", units=len(replay.block_ids)), (
             self.tracer.span(
                 "sim:replay",
@@ -290,29 +301,28 @@ class AppEvaluation:
                 blocks=len(replay.block_ids),
             )
         ) as span:
-            core = CoreSimulator(
-                self.app.program,
-                plan=plan,
-                hash_bits=hash_bits,
-                track_exact_context=track_exact_context,
-                data_traffic=self._eval_data_traffic(),
-            )
-            stats = core.run(
+            stats = replayer.simulate(
+                zoo.ProfileView(self.app.program),
                 replay,
-                warmup=self.settings.warmup,
-                shard_insns=self.shard_insns,
-                checkpointer=self._checkpointer(key),
-                parallel=self.parallel,
+                zoo.ReplayContext(
+                    data_traffic=self._eval_data_traffic(),
+                    warmup=self.settings.warmup,
+                    shard_insns=self.shard_insns,
+                    checkpointer=self._checkpointer(key),
+                    parallel=self.parallel,
+                    hash_bits=hash_bits,
+                    track_exact_context=track_exact_context,
+                ),
             )
-            span.set(backend=core.last_replay_backend)
+            span.set(backend=replayer.last_replay_backend)
         self.perf.count(
-            f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
+            f"simulate:{replayer.last_replay_backend}",
+            units=len(replay.block_ids),
         )
         # Stash the engine's accounting for figures that need run-time
         # context bookkeeping (Fig. 21 false positives).
-        stats_engine = getattr(core, "engine", None)
         stats.false_positive_rate = (  # type: ignore[attr-defined]
-            stats_engine.conditional_false_positive_rate if stats_engine else 0.0
+            replayer.conditional_false_positive_rate
         )
         self._remember_stats(key, stats)
         return stats
@@ -437,6 +447,7 @@ class AppEvaluation:
         if cached is not None:
             return cached
         replay = trace if trace is not None else self.eval_trace
+        ideal = self.prefetcher("ideal")
         with self.perf.stage("simulate", units=len(replay.block_ids)), (
             self.tracer.span(
                 "sim:replay",
@@ -445,17 +456,19 @@ class AppEvaluation:
                 blocks=len(replay.block_ids),
             )
         ) as span:
-            core = CoreSimulator(self.app.program, ideal=True)
-            stats = core.run(
+            stats = ideal.simulate(
+                zoo.ProfileView(self.app.program),
                 replay,
-                warmup=self.settings.warmup,
-                shard_insns=self.shard_insns,
-                checkpointer=self._checkpointer(key),
-                parallel=self.parallel,
+                zoo.ReplayContext(
+                    warmup=self.settings.warmup,
+                    shard_insns=self.shard_insns,
+                    checkpointer=self._checkpointer(key),
+                    parallel=self.parallel,
+                ),
             )
-            span.set(backend=core.last_replay_backend)
+            span.set(backend=ideal.last_replay_backend)
         self.perf.count(
-            f"simulate:{core.last_replay_backend}", units=len(replay.block_ids)
+            f"simulate:{ideal.last_replay_backend}", units=len(replay.block_ids)
         )
         self._remember_stats(key, stats)
         return stats
@@ -472,76 +485,105 @@ class AppEvaluation:
             self._stats["ideal"] = self.run_ideal()
         return self._stats["ideal"]
 
-    # -- prefetcher variants ---------------------------------------------------
+    # -- the prefetcher zoo ----------------------------------------------------
 
-    def ispy_result(self, config: ISpyConfig = DEFAULT_CONFIG) -> ISpyResult:
+    def prefetcher(self, variant: str) -> "zoo.Prefetcher":
+        """The registered zoo member backing *variant* (cached)."""
+        if variant not in self._prefetchers:
+            self._prefetchers[variant] = zoo.get_prefetcher(variant)
+        return self._prefetchers[variant]
+
+    def _view(self, prefetcher: "zoo.Prefetcher") -> "zoo.ProfileView":
+        profile = self.profile if prefetcher.requires_profile else None
+        return zoo.ProfileView(self.app.program, profile)
+
+    def _train_result_for(self, prefetcher: "zoo.Prefetcher") -> object:
+        """Train *prefetcher* on this app (cached per ``cache_token``).
+
+        Plan-producing members additionally persist their plan to the
+        artifact store under their :meth:`plan_key_parts`.
+        """
+        token = prefetcher.cache_token
+        if token not in self._train_cache:
+            with self.perf.stage(f"plan:{prefetcher.planner}"), self.tracer.span(
+                f"analysis:plan-{prefetcher.planner}",
+                app=self.name,
+                prefetcher=prefetcher.name,
+            ):
+                result = prefetcher.train_result(self._view(prefetcher))
+            self._train_cache[token] = result
+            if self.store is not None and prefetcher.produces_plan:
+                plan = zoo.plan_of(result)
+                if plan is not None:
+                    self.store.save_plan(
+                        self._key("plan", **prefetcher.plan_key_parts()), plan
+                    )
+        return self._train_cache[token]
+
+    def _plan_for(self, prefetcher: "zoo.Prefetcher") -> PrefetchPlan:
+        """The member's plan: train-cache, then store, then train."""
+        cached = self._train_cache.get(prefetcher.cache_token)
+        if cached is not None:
+            return zoo.plan_of(cached)
+        if self.store is not None:
+            plan = self.store.load_plan(
+                self._key("plan", **prefetcher.plan_key_parts())
+            )
+            if plan is not None:
+                self.perf.count("store-hit:plan")
+                self.tracer.instant("store:hit", kind="plan", app=self.name)
+                return plan
+        return zoo.plan_of(self._train_result_for(prefetcher))
+
+    def footprint_for(self, variant: str) -> "zoo.Footprint":
+        """Static + metadata deployment footprint of *variant*."""
+        if variant == "baseline":
+            return zoo.Footprint()
+        prefetcher = self.prefetcher(variant)
+        trained = (
+            self._train_result_for(prefetcher)
+            if prefetcher.requires_profile
+            else None
+        )
+        return prefetcher.static_footprint(self._view(prefetcher), trained)
+
+    def ispy_result(self, config: ISpyConfig = DEFAULT_CONFIG) -> "ISpyResult":
         """Full planning result (plan + report) for *config*.
 
         Always runs the planning pipeline on a cold in-memory cache —
         use :meth:`ispy_plan` when only the plan is needed, which can
         come straight from the artifact store.
         """
-        key = repr(config)
-        if key not in self._ispy_results:
-            with self.perf.stage("plan:ispy"):
-                result = build_ispy_plan(self.app.program, self.profile, config)
-            self._ispy_results[key] = result
-            if self.store is not None:
-                self.store.save_plan(self._ispy_plan_key(config), result.plan)
-        return self._ispy_results[key]
-
-    def _ispy_plan_key(self, config: ISpyConfig) -> str:
-        return self._key("plan", planner="ispy", config=dataclasses.asdict(config))
+        return self._train_result_for(zoo.get_prefetcher("ispy", config=config))
 
     def ispy_plan(self, config: ISpyConfig = DEFAULT_CONFIG) -> PrefetchPlan:
-        cached = self._ispy_results.get(repr(config))
-        if cached is not None:
-            return cached.plan
-        if self.store is not None:
-            plan = self.store.load_plan(self._ispy_plan_key(config))
-            if plan is not None:
-                self.perf.count("store-hit:plan")
-                self.tracer.instant("store:hit", kind="plan", app=self.name)
-                return plan
-        return self.ispy_result(config).plan
+        return self._plan_for(zoo.get_prefetcher("ispy", config=config))
 
-    def asmdb_result(
-        self, threshold: float = ASMDB_FANOUT_THRESHOLD
-    ) -> AsmDBResult:
-        if threshold not in self._asmdb_results:
-            with self.perf.stage("plan:asmdb"), self.tracer.span(
-                "analysis:plan-asmdb", app=self.name, threshold=threshold
-            ):
-                result = build_asmdb_plan(
-                    self.app.program, self.profile, fanout_threshold=threshold
-                )
-            self._asmdb_results[threshold] = result
-            if self.store is not None:
-                self.store.save_plan(self._asmdb_plan_key(threshold), result.plan)
-        return self._asmdb_results[threshold]
+    def asmdb_result(self, threshold: Optional[float] = None) -> "AsmDBResult":
+        prefetcher = (
+            zoo.get_prefetcher("asmdb")
+            if threshold is None
+            else zoo.get_prefetcher("asmdb", fanout_threshold=threshold)
+        )
+        return self._train_result_for(prefetcher)
 
-    def _asmdb_plan_key(self, threshold: float) -> str:
-        return self._key("plan", planner="asmdb", threshold=threshold)
-
-    def asmdb_plan(self, threshold: float = ASMDB_FANOUT_THRESHOLD) -> PrefetchPlan:
-        cached = self._asmdb_results.get(threshold)
-        if cached is not None:
-            return cached.plan
-        if self.store is not None:
-            plan = self.store.load_plan(self._asmdb_plan_key(threshold))
-            if plan is not None:
-                self.perf.count("store-hit:plan")
-                self.tracer.instant("store:hit", kind="plan", app=self.name)
-                return plan
-        return self.asmdb_result(threshold).plan
+    def asmdb_plan(self, threshold: Optional[float] = None) -> PrefetchPlan:
+        prefetcher = (
+            zoo.get_prefetcher("asmdb")
+            if threshold is None
+            else zoo.get_prefetcher("asmdb", fanout_threshold=threshold)
+        )
+        return self._plan_for(prefetcher)
 
     def stats_for(self, variant: str) -> SimStats:
         """Evaluation-trace statistics for a named variant.
 
-        Variants: ``baseline``, ``ideal``, ``asmdb``, ``ispy``,
-        ``ispy-conditional`` (no coalescing), ``ispy-coalescing`` (no
-        conditioning), ``contiguous8``, ``noncontiguous8``,
-        ``nextline``.
+        Any registered zoo member is a variant (see
+        :func:`repro.baselines.prefetcher_names`), plus ``baseline``
+        and ``ideal``.  Plan-shaped members replay through
+        :meth:`run_plan` and inherit its backends; mechanism members
+        (``nextline``, ``fdip``, the window studies, ``mana``) run
+        their own simulators behind the same store-backed caching.
         """
         if variant == "baseline":
             return self.baseline_stats
@@ -550,60 +592,24 @@ class AppEvaluation:
         if variant in self._stats:
             return self._stats[variant]
 
-        if variant == "asmdb":
-            stats = self.run_plan(self.asmdb_plan())
-        elif variant == "ispy":
-            stats = self.run_plan(self.ispy_plan())
-        elif variant == "ispy-conditional":
-            stats = self.run_plan(
-                self.ispy_plan(DEFAULT_CONFIG.conditional_only())
-            )
-        elif variant == "ispy-coalescing":
-            stats = self.run_plan(
-                self.ispy_plan(DEFAULT_CONFIG.coalescing_only())
-            )
-        elif variant == "contiguous8":
-            stats = self._variant_stats(
-                variant,
-                lambda trace: simulate_window_prefetcher(
-                    self.app.program,
-                    trace,
-                    profile=self.profile,
-                    window=8,
-                    contiguous=True,
-                    data_traffic=self._eval_data_traffic(),
-                    warmup=self.settings.warmup,
-                ),
-            )
-        elif variant == "noncontiguous8":
-            stats = self._variant_stats(
-                variant,
-                lambda trace: simulate_window_prefetcher(
-                    self.app.program,
-                    trace,
-                    profile=self.profile,
-                    window=8,
-                    contiguous=False,
-                    data_traffic=self._eval_data_traffic(),
-                    warmup=self.settings.warmup,
-                    # the Fig. 5 study filters on *all* profiled misses,
-                    # not just the hot lines the planners target
-                    config=replace(DEFAULT_CONFIG, min_miss_samples=1),
-                ),
-            )
-        elif variant == "nextline":
-            stats = self._variant_stats(
-                variant,
-                lambda trace: simulate_nextline(
-                    self.app.program,
-                    trace,
-                    lines_ahead=1,
-                    data_traffic=self._eval_data_traffic(),
-                    warmup=self.settings.warmup,
-                ),
-            )
+        prefetcher = self.prefetcher(variant)
+        if prefetcher.supports_plan_replay and prefetcher.produces_plan:
+            stats = self.run_plan(self._plan_for(prefetcher))
         else:
-            raise KeyError(f"unknown variant {variant!r}")
+            trained = (
+                self._train_result_for(prefetcher)
+                if prefetcher.requires_profile and not prefetcher.produces_plan
+                else None
+            )
+            ctx = zoo.ReplayContext(
+                data_traffic=self._eval_data_traffic(),
+                warmup=self.settings.warmup,
+                trained=trained,
+            )
+            view = self._view(prefetcher)
+            stats = self._variant_stats(
+                variant, lambda trace: prefetcher.simulate(view, trace, ctx)
+            )
         self._stats[variant] = stats
         return stats
 
@@ -626,44 +632,15 @@ class AppEvaluation:
         self._remember_stats(key, stats)
         return stats
 
-    def _window_plan(self, contiguous: bool) -> PrefetchPlan:
-        key = f"window-{contiguous}"
-        if key not in self._plans:
-            store_key = self._key("plan", planner="window", window=8,
-                                  contiguous=contiguous)
-            plan = None
-            if self.store is not None:
-                plan = self.store.load_plan(store_key)
-                if plan is not None:
-                    self.perf.count("store-hit:plan")
-                    self.tracer.instant("store:hit", kind="plan", app=self.name)
-            if plan is None:
-                with self.perf.stage("plan:window"), self.tracer.span(
-                    "analysis:plan-window", app=self.name, contiguous=contiguous
-                ):
-                    plan = build_window_plan(
-                        self.app.program, self.profile, window=8,
-                        contiguous=contiguous,
-                    )
-                if self.store is not None:
-                    self.store.save_plan(store_key, plan)
-            self._plans[key] = plan
-        return self._plans[key]
-
     def plan_for(self, variant: str) -> PrefetchPlan:
-        if variant == "asmdb":
-            return self.asmdb_plan()
-        if variant == "ispy":
-            return self.ispy_plan()
-        if variant == "ispy-conditional":
-            return self.ispy_plan(DEFAULT_CONFIG.conditional_only())
-        if variant == "ispy-coalescing":
-            return self.ispy_plan(DEFAULT_CONFIG.coalescing_only())
-        if variant == "contiguous8":
-            return self._window_plan(True)
-        if variant == "noncontiguous8":
-            return self._window_plan(False)
-        raise KeyError(f"no plan for variant {variant!r}")
+        """The stored/trained plan for any plan-producing variant."""
+        try:
+            prefetcher = self.prefetcher(variant)
+        except KeyError:
+            raise KeyError(f"no plan for variant {variant!r}") from None
+        if not prefetcher.produces_plan:
+            raise KeyError(f"no plan for variant {variant!r}")
+        return self._plan_for(prefetcher)
 
     # -- metrics shortcuts ----------------------------------------------------
 
@@ -698,9 +675,9 @@ class Evaluator:
     every run-level decision — settings, the persistent ``store``, the
     worker ``jobs`` count, the kernel gate and the telemetry sinks —
     in one place.  ``Evaluator(settings)`` remains a supported
-    shorthand; passing the *scattered* ``store``/``jobs``/``perf``
-    keywords directly is deprecated (a shim forwards them into a
-    ``RunConfig`` and warns once per process).
+    shorthand; the old *scattered* ``store``/``jobs``/``perf``
+    keywords were removed after their deprecation cycle and now raise
+    :class:`TypeError` with a migration hint.
 
     ``store`` (a directory path or :class:`~repro.io.ArtifactStore`)
     makes every expensive artifact — profiles, prefetch plans and
@@ -727,10 +704,13 @@ class Evaluator:
 
         if config is None:
             if store is not None or jobs != 1 or perf is not None:
-                runconfig_mod.warn_scattered_kwargs()
-            config = runconfig_mod.RunConfig(
-                settings=settings, store=store, jobs=jobs, perf=perf
-            )
+                raise TypeError(
+                    "Evaluator(store=..., jobs=..., perf=...) was removed; "
+                    "build a repro.RunConfig(store=..., jobs=..., perf=...) "
+                    "and use RunConfig.evaluator() or Evaluator(config=cfg) "
+                    "instead"
+                )
+            config = runconfig_mod.RunConfig(settings=settings)
         self.config = config
         self.settings = config.settings
         store = config.store
@@ -935,7 +915,7 @@ def fig04_asmdb_footprint(
 ) -> List[Dict[str, object]]:
     rows = []
     for evaluation in evaluator.apps(apps):
-        plan = evaluation.asmdb_plan()
+        plan = evaluation.plan_for("asmdb")
         stats = evaluation.stats_for("asmdb")
         rows.append(
             {
@@ -1406,3 +1386,76 @@ def headline_summary(
         "max_mpki_reduction": max(mpki_reductions),
         "mean_improvement_over_asmdb": metrics.arithmetic_mean(over_asmdb),
     }
+
+
+# ---------------------------------------------------------------------------
+# Prefetcher matrix — the whole zoo on one yardstick
+# ---------------------------------------------------------------------------
+
+
+#: Default roster for ``repro matrix``: the no-prefetch baseline, the
+#: ideal bound and every registered zoo member, paper schemes first.
+MATRIX_PREFETCHERS: Tuple[str, ...] = (
+    "baseline",
+    "ideal",
+    "ispy",
+    "ispy-conditional",
+    "ispy-coalescing",
+    "asmdb",
+    "mana",
+    "fdip",
+    "nextline",
+    "contiguous8",
+    "noncontiguous8",
+)
+
+
+def matrix_prefetchers(
+    evaluator: Evaluator,
+    apps: Optional[Sequence[str]] = None,
+    prefetchers: Sequence[str] = MATRIX_PREFETCHERS,
+) -> List[Dict[str, object]]:
+    """Every zoo member on one yardstick (the ``repro matrix`` table).
+
+    One row per prefetcher, each metric the arithmetic mean over
+    *apps*: speedup over the no-prefetch baseline, L1i MPKI, prefetch
+    accuracy, miss coverage (MPKI reduction), and the deployment cost
+    split into static code growth (injected prefetch instructions as
+    a fraction of text) and hardware metadata bytes.
+    """
+    evaluations = evaluator.apps(apps)
+    rows: List[Dict[str, object]] = []
+    for name in prefetchers:
+        speedups: List[float] = []
+        mpkis: List[float] = []
+        accuracies: List[float] = []
+        coverages: List[float] = []
+        static_increases: List[float] = []
+        metadata: List[float] = []
+        dynamic: List[float] = []
+        for evaluation in evaluations:
+            stats = evaluation.stats_for(name)
+            base = evaluation.baseline_stats
+            footprint = evaluation.footprint_for(name)
+            speedups.append(metrics.speedup(base, stats))
+            mpkis.append(stats.l1i_mpki)
+            accuracies.append(stats.prefetch_accuracy)
+            coverages.append(metrics.mpki_reduction(base, stats))
+            static_increases.append(
+                footprint.static_increase(evaluation.app.program.text_bytes)
+            )
+            metadata.append(float(footprint.metadata_bytes))
+            dynamic.append(stats.dynamic_overhead)
+        rows.append(
+            {
+                "prefetcher": name,
+                "speedup": metrics.arithmetic_mean(speedups),
+                "l1i_mpki": metrics.arithmetic_mean(mpkis),
+                "accuracy": metrics.arithmetic_mean(accuracies),
+                "coverage": metrics.arithmetic_mean(coverages),
+                "static_increase": metrics.arithmetic_mean(static_increases),
+                "metadata_bytes": metrics.arithmetic_mean(metadata),
+                "dynamic_overhead": metrics.arithmetic_mean(dynamic),
+            }
+        )
+    return rows

@@ -1,33 +1,88 @@
-"""Baseline prefetchers I-SPY is evaluated against.
+"""The prefetcher zoo: I-SPY's baselines and the protocol they share.
 
+``protocol``    the :class:`Prefetcher` ABC, capability flags and the
+                variant registry (:func:`get_prefetcher`).
 ``asmdb``       the state-of-the-art profile-guided prefetcher.
 ``contiguous``  Contiguous-n / Non-contiguous-n limit study (Fig. 5).
 ``nextline``    hardware next-N-line prefetching.
 ``fdip``        fetch-directed (branch-predictor-run-ahead) prefetching.
 ``ideal``       the no-miss upper bound.
+``ispy``        I-SPY itself, as a registered zoo member.
+``mana``        spatial-region metadata prefetching (MANA).
+
+Exports resolve lazily (like :mod:`repro` itself) so importing the
+package stays cheap; the registry loads the member modules on first
+access.
 """
 
-from .asmdb import ASMDB_FANOUT_THRESHOLD, AsmDBResult, build_asmdb_plan
-from .contiguous import (
-    build_contiguous_plan,
-    build_noncontiguous_plan,
-    build_window_plan,
-    simulate_window_prefetcher,
-)
-from .fdip import BimodalBTB, simulate_fdip
-from .ideal import simulate_ideal
-from .nextline import simulate_nextline
+from __future__ import annotations
 
-__all__ = [
-    "ASMDB_FANOUT_THRESHOLD",
-    "AsmDBResult",
-    "BimodalBTB",
-    "build_asmdb_plan",
-    "build_contiguous_plan",
-    "build_noncontiguous_plan",
-    "build_window_plan",
-    "simulate_window_prefetcher",
-    "simulate_fdip",
-    "simulate_ideal",
-    "simulate_nextline",
-]
+#: name -> "module:attribute" for the package API.
+_EXPORTS = {
+    # protocol & registry
+    "Footprint": "repro.baselines.protocol:Footprint",
+    "PlanReplay": "repro.baselines.protocol:PlanReplay",
+    "Prefetcher": "repro.baselines.protocol:Prefetcher",
+    "ProfileView": "repro.baselines.protocol:ProfileView",
+    "ReplayContext": "repro.baselines.protocol:ReplayContext",
+    "capability_rows": "repro.baselines.protocol:capability_rows",
+    "get_prefetcher": "repro.baselines.protocol:get_prefetcher",
+    "plan_of": "repro.baselines.protocol:plan_of",
+    "plan_prefetcher_names": "repro.baselines.protocol:plan_prefetcher_names",
+    "prefetcher_names": "repro.baselines.protocol:prefetcher_names",
+    "register_prefetcher": "repro.baselines.protocol:register_prefetcher",
+    # asmdb
+    "ASMDB_FANOUT_THRESHOLD": "repro.baselines.asmdb:ASMDB_FANOUT_THRESHOLD",
+    "AsmDBPrefetcher": "repro.baselines.asmdb:AsmDBPrefetcher",
+    "AsmDBResult": "repro.baselines.asmdb:AsmDBResult",
+    "build_asmdb_plan": "repro.baselines.asmdb:build_asmdb_plan",
+    # window limit study
+    "WindowPrefetcher": "repro.baselines.contiguous:WindowPrefetcher",
+    "build_contiguous_plan": "repro.baselines.contiguous:build_contiguous_plan",
+    "build_noncontiguous_plan":
+        "repro.baselines.contiguous:build_noncontiguous_plan",
+    "build_window_plan": "repro.baselines.contiguous:build_window_plan",
+    "simulate_window_prefetcher":
+        "repro.baselines.contiguous:simulate_window_prefetcher",
+    # fdip
+    "BimodalBTB": "repro.baselines.fdip:BimodalBTB",
+    "FDIPPrefetcher": "repro.baselines.fdip:FDIPPrefetcher",
+    "simulate_fdip": "repro.baselines.fdip:simulate_fdip",
+    # ideal
+    "IdealPrefetcher": "repro.baselines.ideal:IdealPrefetcher",
+    "simulate_ideal": "repro.baselines.ideal:simulate_ideal",
+    # ispy adapter
+    "ISpyPrefetcher": "repro.baselines.ispy:ISpyPrefetcher",
+    # nextline
+    "NextLinePrefetcher": "repro.baselines.nextline:NextLinePrefetcher",
+    "simulate_nextline": "repro.baselines.nextline:simulate_nextline",
+    # mana
+    "ManaPrefetcher": "repro.baselines.mana:ManaPrefetcher",
+    "ManaResult": "repro.baselines.mana:ManaResult",
+    "ManaTable": "repro.baselines.mana:ManaTable",
+    "build_mana_table": "repro.baselines.mana:build_mana_table",
+    "simulate_mana": "repro.baselines.mana:simulate_mana",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Lazy package exports (see :mod:`repro`)."""
+    try:
+        target = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.baselines' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module_name, _, attribute = target.partition(":")
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

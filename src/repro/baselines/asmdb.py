@@ -22,6 +22,7 @@ from ..core.injection import SiteSelection, frequent_miss_lines, select_site
 from ..core.instructions import PrefetchInstr, PrefetchPlan
 from ..profiling.profiler import ExecutionProfile
 from ..sim.trace import Program
+from .protocol import Prefetcher, ProfileView, register_prefetcher
 
 #: The fan-out threshold the paper attributes to AsmDB (Section II-D).
 ASMDB_FANOUT_THRESHOLD = 0.99
@@ -83,3 +84,39 @@ def build_asmdb_plan(
             )
         )
     return AsmDBResult(plan=plan, report=report)
+
+
+class AsmDBPrefetcher(Prefetcher):
+    """AsmDB through the zoo protocol: a plan-producing scheme whose
+    injected instructions replay through the shared CoreSimulator
+    path, so it inherits the columnar kernel, sharding and batched
+    sweeps."""
+
+    planner = "asmdb"
+
+    def __init__(
+        self,
+        fanout_threshold: float = ASMDB_FANOUT_THRESHOLD,
+        config: Optional[ISpyConfig] = None,
+    ) -> None:
+        self.fanout_threshold = fanout_threshold
+        self.config = config
+        self.name = f"asmdb@{fanout_threshold:.2f}"
+
+    @property
+    def cache_token(self) -> str:
+        return f"asmdb@{self.fanout_threshold!r}"
+
+    def train_result(self, view: ProfileView) -> AsmDBResult:
+        return build_asmdb_plan(
+            view.program,
+            view.profile,
+            config=self.config,
+            fanout_threshold=self.fanout_threshold,
+        )
+
+    def plan_key_parts(self) -> Dict[str, object]:
+        return {"planner": "asmdb", "threshold": self.fanout_threshold}
+
+
+register_prefetcher("asmdb", AsmDBPrefetcher)

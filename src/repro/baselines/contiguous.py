@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from dataclasses import replace
+
 from ..core.config import DEFAULT_CONFIG, ISpyConfig
 from ..core.injection import frequent_miss_lines, select_site
 from ..core.instructions import PrefetchInstr, PrefetchPlan
@@ -29,6 +31,12 @@ from ..sim.hierarchy import MemoryHierarchy
 from ..sim.params import MachineParams
 from ..sim.stats import SimStats
 from ..sim.trace import BlockTrace, Program
+from .protocol import (
+    Prefetcher,
+    ProfileView,
+    ReplayContext,
+    register_prefetcher,
+)
 
 
 def simulate_window_prefetcher(
@@ -186,3 +194,93 @@ def build_noncontiguous_plan(
     config: Optional[ISpyConfig] = None,
 ) -> PrefetchPlan:
     return build_window_plan(program, profile, window, False, config)
+
+
+class WindowPrefetcher(Prefetcher):
+    """Contiguous-n / Non-contiguous-n through the zoo protocol.
+
+    Training builds the injected-plan formulation
+    (:func:`build_window_plan`, used by the coalescing tests and the
+    footprint accounting); simulation runs the paper's miss-triggered
+    run-time mechanism (:func:`simulate_window_prefetcher`), which is
+    why ``supports_plan_replay`` is False — the two formulations are
+    deliberately not the same experiment.
+
+    ``sim_config`` filters which profiled lines count as the window's
+    miss subset at run time; it defaults to the training ``config``
+    (the registered ``noncontiguous8`` variant relaxes it to *all*
+    profiled misses, the Fig. 5 formulation).
+    """
+
+    planner = "window"
+    produces_plan = True
+    supports_plan_replay = False
+    supports_sharding = False
+    supports_batch = False
+
+    def __init__(
+        self,
+        window: int = 8,
+        contiguous: bool = True,
+        config: Optional[ISpyConfig] = None,
+        sim_config: Optional[ISpyConfig] = None,
+    ) -> None:
+        self.window = window
+        self.contiguous = contiguous
+        self.config = config
+        self.sim_config = sim_config if sim_config is not None else config
+        prefix = "contiguous" if contiguous else "noncontiguous"
+        self.name = f"{prefix}{window}"
+
+    @property
+    def cache_token(self) -> str:
+        return f"window@{self.window}c{self.contiguous}"
+
+    def train_result(self, view: ProfileView) -> PrefetchPlan:
+        return build_window_plan(
+            view.program,
+            view.profile,
+            window=self.window,
+            contiguous=self.contiguous,
+            config=self.config,
+        )
+
+    def plan_key_parts(self) -> Dict[str, object]:
+        return {
+            "planner": "window",
+            "window": self.window,
+            "contiguous": self.contiguous,
+        }
+
+    def simulate(
+        self,
+        view: ProfileView,
+        trace: BlockTrace,
+        ctx: Optional[ReplayContext] = None,
+    ) -> SimStats:
+        ctx = ctx or ReplayContext()
+        self._reject_sharding(ctx)
+        return simulate_window_prefetcher(
+            view.program,
+            trace,
+            profile=view.profile,
+            window=self.window,
+            contiguous=self.contiguous,
+            machine=ctx.machine,
+            data_traffic=ctx.data_traffic,
+            warmup=ctx.warmup,
+            config=self.sim_config,
+        )
+
+
+def _noncontiguous8(**overrides: object) -> WindowPrefetcher:
+    # the Fig. 5 study filters the window on *all* profiled misses,
+    # not just the hot lines the planners target
+    overrides.setdefault(
+        "sim_config", replace(DEFAULT_CONFIG, min_miss_samples=1)
+    )
+    return WindowPrefetcher(window=8, contiguous=False, **overrides)
+
+
+register_prefetcher("contiguous8", WindowPrefetcher)
+register_prefetcher("noncontiguous8", _noncontiguous8)

@@ -30,6 +30,12 @@ from ..sim.hierarchy import MemoryHierarchy
 from ..sim.params import MachineParams
 from ..sim.stats import SimStats
 from ..sim.trace import BlockTrace, Program
+from .protocol import (
+    Prefetcher,
+    ProfileView,
+    ReplayContext,
+    register_prefetcher,
+)
 
 
 class BimodalBTB:
@@ -209,3 +215,60 @@ def simulate_fdip(
     stats.compute_cycles = program_instructions * cpi
     stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
     return stats
+
+
+#: storage accounting per BTB entry: tag + target + 2-bit confidence,
+#: rounded to 8 bytes (the Section VIII storage argument)
+BTB_ENTRY_BYTES = 8
+
+
+class FDIPPrefetcher(Prefetcher):
+    """FDIP through the zoo protocol: profile-free and plan-free; its
+    deployment cost is all predictor metadata (the BTB)."""
+
+    planner = "fdip"
+    requires_profile = False
+    produces_plan = False
+    supports_plan_replay = False
+    supports_sharding = False
+    supports_batch = False
+
+    def __init__(
+        self,
+        runahead: int = 16,
+        btb_capacity: Optional[int] = BimodalBTB.DEFAULT_CAPACITY,
+    ) -> None:
+        self.runahead = runahead
+        self.btb_capacity = btb_capacity
+        self.name = "fdip"
+
+    @property
+    def cache_token(self) -> str:
+        return f"fdip@r{self.runahead}b{self.btb_capacity}"
+
+    def train_result(self, view: ProfileView) -> None:
+        return None
+
+    def simulate(
+        self,
+        view: ProfileView,
+        trace: BlockTrace,
+        ctx: Optional[ReplayContext] = None,
+    ) -> SimStats:
+        ctx = ctx or ReplayContext()
+        self._reject_sharding(ctx)
+        return simulate_fdip(
+            view.program,
+            trace,
+            runahead=self.runahead,
+            machine=ctx.machine,
+            data_traffic=ctx.data_traffic,
+            warmup=ctx.warmup,
+            btb_capacity=self.btb_capacity,
+        )
+
+    def metadata_bytes(self, trained: object = None) -> int:
+        return (self.btb_capacity or 0) * BTB_ENTRY_BYTES
+
+
+register_prefetcher("fdip", FDIPPrefetcher)

@@ -9,10 +9,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim.cpu import simulate
+from ..sim.cpu import CoreSimulator, simulate
 from ..sim.params import MachineParams
 from ..sim.stats import SimStats
 from ..sim.trace import BlockTrace, Program
+from .protocol import (
+    Prefetcher,
+    ProfileView,
+    ReplayContext,
+    register_prefetcher,
+)
 
 
 def simulate_ideal(
@@ -22,3 +28,46 @@ def simulate_ideal(
 ) -> SimStats:
     """Replay *trace* with a perfect I-cache (every fetch hits)."""
     return simulate(program, trace, machine=machine, ideal=True)
+
+
+class IdealPrefetcher(Prefetcher):
+    """The no-miss bound through the zoo protocol.  It rides the
+    CoreSimulator replay path (ideal mode), so sharded and parallel
+    execution apply bit-identically; there is no plan and nothing to
+    train."""
+
+    planner = "ideal"
+    requires_profile = False
+    produces_plan = False
+    supports_plan_replay = True
+    supports_sharding = True
+    supports_batch = False
+
+    def __init__(self) -> None:
+        self.name = "ideal"
+
+    def train_result(self, view: ProfileView) -> None:
+        return None
+
+    def simulate(
+        self,
+        view: ProfileView,
+        trace: BlockTrace,
+        ctx: Optional[ReplayContext] = None,
+    ) -> SimStats:
+        ctx = ctx or ReplayContext()
+        core = CoreSimulator(view.program, machine=ctx.machine, ideal=True)
+        stats = core.run(
+            trace,
+            warmup=ctx.warmup,
+            shard_insns=ctx.shard_insns,
+            checkpointer=ctx.checkpointer,
+            parallel=ctx.parallel,
+        )
+        self._last_core = core
+        return stats
+
+
+register_prefetcher("ideal", IdealPrefetcher)
+
+__all__ = ["IdealPrefetcher", "simulate_ideal"]

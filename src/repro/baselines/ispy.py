@@ -1,0 +1,63 @@
+"""I-SPY as a registered :class:`~repro.baselines.protocol.Prefetcher`.
+
+The planner itself lives in :mod:`repro.core.ispy`; this adapter
+exposes it through the zoo protocol so the harness, the CLI and the
+comparison matrix drive I-SPY exactly like every baseline.  Three
+variants register, mirroring the paper's ablation (Fig. 12):
+
+``ispy``              the full design (conditional + coalescing)
+``ispy-conditional``  conditional prefetching only
+``ispy-coalescing``   coalescing only
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..core.config import DEFAULT_CONFIG, ISpyConfig
+from ..core.ispy import ISpyResult, build_ispy_plan
+from .protocol import Prefetcher, ProfileView, register_prefetcher
+
+
+class ISpyPrefetcher(Prefetcher):
+    """Plan-producing, full replay-infrastructure support: the plan
+    executes as injected instructions, so the columnar kernel,
+    sharding and batched sweeps all apply."""
+
+    planner = "ispy"
+
+    def __init__(
+        self, config: Optional[ISpyConfig] = None, name: str = "ispy"
+    ) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.name = name
+
+    @property
+    def cache_token(self) -> str:
+        return f"ispy@{self.config!r}"
+
+    def train_result(self, view: ProfileView) -> ISpyResult:
+        return build_ispy_plan(view.program, view.profile, self.config)
+
+    def plan_key_parts(self) -> Dict[str, object]:
+        return {"planner": "ispy", "config": dataclasses.asdict(self.config)}
+
+
+def _conditional_only(config: Optional[ISpyConfig] = None) -> ISpyPrefetcher:
+    return ISpyPrefetcher(
+        config or DEFAULT_CONFIG.conditional_only(), name="ispy-conditional"
+    )
+
+
+def _coalescing_only(config: Optional[ISpyConfig] = None) -> ISpyPrefetcher:
+    return ISpyPrefetcher(
+        config or DEFAULT_CONFIG.coalescing_only(), name="ispy-coalescing"
+    )
+
+
+register_prefetcher("ispy", ISpyPrefetcher)
+register_prefetcher("ispy-conditional", _conditional_only)
+register_prefetcher("ispy-coalescing", _coalescing_only)
+
+__all__ = ["ISpyPrefetcher"]

@@ -1,0 +1,421 @@
+"""MANA: spatial-region metadata instruction prefetching (Ansari et
+al., "MANA: Microarchitecting an Instruction Prefetcher", PAPERS.md).
+
+MANA observes that instruction misses cluster into *spatial regions*:
+after a miss on a trigger line, the next few misses overwhelmingly
+fall within a small window of following lines.  It therefore records,
+per trigger line, a footprint bit-vector over the ``region_lines``
+lines after the trigger, and chains regions through a *successor*
+pointer (the trigger most often observed next) so the prefetcher can
+run ahead of the miss stream by ``lookahead`` regions.
+
+The defining storage trick is HOBPT-style pointer compaction: record
+entries do not store full line addresses.  The high-order bits of
+every trigger are deduplicated into a small High-Order-Bits Pattern
+Table (data-center code touches few distinct address regions), and
+each record keeps only the low-order bits plus a pattern-table index
+and a successor *record* index.  :meth:`ManaTable.storage` accounts
+both layouts so the comparison matrix reports honest metadata cost.
+
+Training consumes the same :class:`~repro.profiling.profiler.
+ExecutionProfile` the profile-guided planners use (the sampled miss
+stream stands in for the hardware's observed miss sequence); the
+runtime is a miss-triggered mechanism loop like
+:mod:`~repro.baselines.nextline`'s.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.instructions import PrefetchInstr, PrefetchPlan
+from ..profiling.profiler import ExecutionProfile
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.params import MachineParams
+from ..sim.stats import SimStats
+from ..sim.trace import BlockTrace, Program
+from .protocol import (
+    Prefetcher,
+    ProfileView,
+    ReplayContext,
+    register_prefetcher,
+)
+
+#: region span (lines after the trigger covered by the footprint)
+DEFAULT_REGION_LINES = 8
+#: regions prefetched per trigger hit (1 = this region only)
+DEFAULT_LOOKAHEAD = 2
+#: physical line-address width assumed by the storage accounting
+#: (46-bit physical addresses, 64-byte lines)
+LINE_ADDRESS_BITS = 40
+#: low-order bits kept verbatim in each record; the rest deduplicate
+#: into the high-order-bits pattern table
+DEFAULT_LOW_BITS = 12
+
+
+@dataclass(frozen=True)
+class ManaRegion:
+    """One trained spatial region."""
+
+    trigger: int
+    #: block whose execution first missed on the trigger (plan export)
+    trigger_block: int
+    #: bit i set => line ``trigger + i + 1`` missed within this region
+    footprint: int
+    #: the trigger most often observed after this region, if any
+    successor: Optional[int] = None
+
+    def target_lines(self) -> List[int]:
+        return [
+            self.trigger + offset + 1
+            for offset in range(self.footprint.bit_length())
+            if self.footprint >> offset & 1
+        ]
+
+
+class ManaTable:
+    """The trained region table (insertion-ordered, deterministic)."""
+
+    def __init__(self, region_lines: int = DEFAULT_REGION_LINES) -> None:
+        if region_lines < 1:
+            raise ValueError("region_lines must be at least one line")
+        self.region_lines = region_lines
+        self.regions: Dict[int, ManaRegion] = {}
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def lookup(self, line: int) -> Optional[ManaRegion]:
+        return self.regions.get(line)
+
+    def storage(
+        self,
+        line_bits: int = LINE_ADDRESS_BITS,
+        low_bits: int = DEFAULT_LOW_BITS,
+    ) -> Dict[str, int]:
+        """Metadata storage under the naive and HOBPT-compacted
+        layouts, in bits (plus the compacted size in bytes)."""
+        records = len(self.regions)
+        if records == 0:
+            return {
+                "records": 0,
+                "hob_patterns": 0,
+                "naive_bits": 0,
+                "compact_bits": 0,
+                "metadata_bytes": 0,
+            }
+        patterns = {region.trigger >> low_bits for region in self.regions.values()}
+        hob_patterns = len(patterns)
+        hob_ptr_bits = max(1, math.ceil(math.log2(hob_patterns + 1)))
+        # successor is a record index + a valid bit, not a full address
+        succ_ptr_bits = max(1, math.ceil(math.log2(records + 1))) + 1
+        compact_record = low_bits + hob_ptr_bits + self.region_lines + succ_ptr_bits
+        compact_bits = (
+            records * compact_record + hob_patterns * (line_bits - low_bits)
+        )
+        # naive layout: full trigger address, footprint, full successor
+        # address + valid bit
+        naive_record = line_bits + self.region_lines + line_bits + 1
+        return {
+            "records": records,
+            "hob_patterns": hob_patterns,
+            "naive_bits": records * naive_record,
+            "compact_bits": compact_bits,
+            "metadata_bytes": (compact_bits + 7) // 8,
+        }
+
+    def to_plan(self) -> PrefetchPlan:
+        """Express the region table as a :class:`PrefetchPlan` (one
+        coalesced record per trigger, sited at the triggering block).
+
+        MANA injects nothing into the binary — this export exists for
+        inspection and the plan-shaped acceptance tests; the simulated
+        mechanism replays the table directly.
+        """
+        plan = PrefetchPlan(name="mana")
+        for region in self.regions.values():
+            plan.add(
+                PrefetchInstr(
+                    site_block=region.trigger_block,
+                    base_line=region.trigger,
+                    bit_vector=region.footprint,
+                    vector_bits=self.region_lines,
+                    covers=tuple(region.target_lines()),
+                )
+            )
+        return plan
+
+
+@dataclass
+class ManaReport:
+    """What training observed, for inspection."""
+
+    region_lines: int
+    considered_misses: int = 0
+    regions: int = 0
+    chained_regions: int = 0
+    storage: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ManaResult:
+    table: ManaTable
+    report: ManaReport
+
+    @property
+    def plan(self) -> PrefetchPlan:
+        return self.table.to_plan()
+
+
+def build_mana_table(
+    program: Program,
+    profile: ExecutionProfile,
+    region_lines: int = DEFAULT_REGION_LINES,
+    max_regions: Optional[int] = None,
+) -> ManaResult:
+    """Train the region table from the profiled miss stream.
+
+    The sampled misses are walked in trace order: a miss outside the
+    current region opens a new region at that trigger and casts a
+    successor vote from the previous trigger; misses inside the
+    current region OR into its footprint.  Ties in the successor vote
+    resolve to the smallest line so training is deterministic.
+    """
+    if region_lines < 1:
+        raise ValueError("region_lines must be at least one line")
+    footprints: Dict[int, int] = {}
+    trigger_blocks: Dict[int, int] = {}
+    trigger_counts: Counter = Counter()
+    successor_votes: Dict[int, Counter] = {}
+
+    report = ManaReport(region_lines=region_lines)
+    current: Optional[int] = None
+    for sample in profile.miss_samples:
+        report.considered_misses += 1
+        line = sample.line
+        if current is not None and current < line <= current + region_lines:
+            footprints[current] |= 1 << (line - current - 1)
+            continue
+        if current is not None and line != current:
+            successor_votes.setdefault(current, Counter())[line] += 1
+        footprints.setdefault(line, 0)
+        trigger_blocks.setdefault(line, sample.block_id)
+        trigger_counts[line] += 1
+        current = line
+
+    triggers = list(footprints)
+    if max_regions is not None and len(triggers) > max_regions:
+        order = {line: index for index, line in enumerate(footprints)}
+        triggers = sorted(
+            triggers, key=lambda line: (-trigger_counts[line], line)
+        )[:max_regions]
+        triggers.sort(key=order.__getitem__)
+
+    kept = set(triggers)
+    table = ManaTable(region_lines=region_lines)
+    for trigger in triggers:
+        successor = None
+        votes = successor_votes.get(trigger)
+        if votes:
+            successor = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+            if successor not in kept:
+                successor = None
+        if successor is not None:
+            report.chained_regions += 1
+        table.regions[trigger] = ManaRegion(
+            trigger=trigger,
+            trigger_block=trigger_blocks[trigger],
+            footprint=footprints[trigger],
+            successor=successor,
+        )
+    report.regions = len(table)
+    report.storage = table.storage()
+    return ManaResult(table=table, report=report)
+
+
+def simulate_mana(
+    program: Program,
+    trace: BlockTrace,
+    table: ManaTable,
+    lookahead: int = DEFAULT_LOOKAHEAD,
+    machine: Optional[MachineParams] = None,
+    data_traffic=None,
+    warmup: int = 0,
+) -> SimStats:
+    """Replay *trace* with the MANA mechanism over a trained *table*.
+
+    On every demand L1I miss of a trained trigger line, prefetch the
+    region's footprint, then walk the successor chain up to
+    ``lookahead`` regions, prefetching each successor trigger and its
+    footprint.  ``warmup`` block executions are excluded from the
+    statistics.
+    """
+    if lookahead < 1:
+        raise ValueError("lookahead must be at least one region")
+    machine = machine or MachineParams()
+    hierarchy = MemoryHierarchy(machine)
+    stats = SimStats()
+    cpi = 1.0 / machine.base_ipc
+
+    lines_of = {block.block_id: block.lines for block in program}
+    instr_counts = {block.block_id: block.instruction_count for block in program}
+    inflight: Dict[int, float] = {}
+
+    def region_targets(line: int) -> List[int]:
+        region = table.lookup(line)
+        if region is None:
+            return []
+        targets: List[int] = []
+        node = region
+        for depth in range(lookahead):
+            if depth > 0:
+                targets.append(node.trigger)
+            targets.extend(node.target_lines())
+            successor = node.successor
+            if successor is None:
+                break
+            node = table.lookup(successor)
+            if node is None:
+                targets.append(successor)
+                break
+        seen = set()
+        unique = []
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                unique.append(target)
+        return unique
+
+    now = 0.0
+    program_instructions = 0
+    for index, block_id in enumerate(trace):
+        if index == warmup and warmup > 0:
+            stats.clear()
+            hierarchy.l1i.stats.reset()
+            program_instructions = 0
+        stall = 0.0
+        for line in lines_of[block_id]:
+            stats.l1i_accesses += 1
+            arrival = inflight.pop(line, None)
+            if arrival is not None and arrival > now + stall:
+                stall += arrival - (now + stall)
+                stats.late_prefetch_hits += 1
+                hierarchy.l1i.access(line)
+                continue
+            result = hierarchy.fetch(line)
+            if result.was_l1_miss:
+                stats.l1i_misses += 1
+                stats.record_miss_level(result.level)
+                completion = hierarchy.fill_port.request(
+                    now + stall, result.level
+                )
+                stall = completion - now
+                for target in region_targets(line):
+                    if hierarchy.l1i.contains(target) or target in inflight:
+                        continue
+                    level = hierarchy.residence_level(target)
+                    hierarchy.prefetch_fill(target)
+                    stats.prefetches_issued += 1
+                    arrival = hierarchy.fill_port.request(now + stall, level)
+                    if arrival > now + stall:
+                        inflight[target] = arrival
+        if stall:
+            stats.frontend_stall_cycles += stall
+            now += stall
+        count = instr_counts[block_id]
+        program_instructions += count
+        now += count * cpi
+        if data_traffic is not None:
+            data_traffic.advance(count, hierarchy)
+
+    stats.program_instructions = program_instructions
+    stats.compute_cycles = program_instructions * cpi
+    stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
+    return stats
+
+
+class ManaPrefetcher(Prefetcher):
+    """Hardware metadata scheme: trains a region table from the
+    profile, replays through its own mechanism loop, injects nothing
+    into the binary (its cost is all metadata)."""
+
+    planner = "mana"
+    requires_profile = True
+    produces_plan = False
+    supports_plan_replay = False
+    supports_sharding = False
+    supports_batch = False
+
+    def __init__(
+        self,
+        region_lines: int = DEFAULT_REGION_LINES,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+        max_regions: Optional[int] = None,
+    ) -> None:
+        self.region_lines = region_lines
+        self.lookahead = lookahead
+        self.max_regions = max_regions
+        self.name = "mana"
+
+    @property
+    def cache_token(self) -> str:
+        return (
+            f"mana@r{self.region_lines}l{self.lookahead}m{self.max_regions}"
+        )
+
+    def train_result(self, view: ProfileView) -> ManaResult:
+        return build_mana_table(
+            view.program,
+            view.profile,
+            region_lines=self.region_lines,
+            max_regions=self.max_regions,
+        )
+
+    def _table(self, trained: object) -> ManaTable:
+        if isinstance(trained, ManaResult):
+            return trained.table
+        if isinstance(trained, ManaTable):
+            return trained
+        raise TypeError(f"not a MANA training artifact: {trained!r}")
+
+    def simulate(
+        self,
+        view: ProfileView,
+        trace: BlockTrace,
+        ctx: Optional[ReplayContext] = None,
+    ) -> SimStats:
+        ctx = ctx or ReplayContext()
+        self._reject_sharding(ctx)
+        trained = ctx.trained if ctx.trained is not None else self.train_result(view)
+        return simulate_mana(
+            view.program,
+            trace,
+            self._table(trained),
+            lookahead=self.lookahead,
+            machine=ctx.machine,
+            data_traffic=ctx.data_traffic,
+            warmup=ctx.warmup,
+        )
+
+    def metadata_bytes(self, trained: object = None) -> int:
+        if trained is None:
+            return 0
+        return self._table(trained).storage()["metadata_bytes"]
+
+
+register_prefetcher("mana", ManaPrefetcher)
+
+__all__ = [
+    "DEFAULT_LOOKAHEAD",
+    "DEFAULT_REGION_LINES",
+    "ManaPrefetcher",
+    "ManaRegion",
+    "ManaReport",
+    "ManaResult",
+    "ManaTable",
+    "build_mana_table",
+    "simulate_mana",
+]

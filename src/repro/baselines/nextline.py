@@ -17,6 +17,12 @@ from ..sim.hierarchy import MemoryHierarchy
 from ..sim.params import MachineParams
 from ..sim.stats import SimStats
 from ..sim.trace import BlockTrace, Program
+from .protocol import (
+    Prefetcher,
+    ProfileView,
+    ReplayContext,
+    register_prefetcher,
+)
 
 
 def simulate_nextline(
@@ -90,3 +96,48 @@ def simulate_nextline(
     stats.compute_cycles = program_instructions * cpi
     stats.prefetches_useful = hierarchy.l1i.stats.prefetch_hits
     return stats
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Next-N-line through the zoo protocol: profile-free, plan-free,
+    a pure run-time mechanism."""
+
+    planner = "nextline"
+    requires_profile = False
+    produces_plan = False
+    supports_plan_replay = False
+    supports_sharding = False
+    supports_batch = False
+
+    def __init__(self, lines_ahead: int = 1) -> None:
+        self.lines_ahead = lines_ahead
+        self.name = (
+            "nextline" if lines_ahead == 1 else f"nextline{lines_ahead}"
+        )
+
+    @property
+    def cache_token(self) -> str:
+        return f"nextline@{self.lines_ahead}"
+
+    def train_result(self, view: ProfileView) -> None:
+        return None
+
+    def simulate(
+        self,
+        view: ProfileView,
+        trace: BlockTrace,
+        ctx: Optional[ReplayContext] = None,
+    ) -> SimStats:
+        ctx = ctx or ReplayContext()
+        self._reject_sharding(ctx)
+        return simulate_nextline(
+            view.program,
+            trace,
+            lines_ahead=self.lines_ahead,
+            machine=ctx.machine,
+            data_traffic=ctx.data_traffic,
+            warmup=ctx.warmup,
+        )
+
+
+register_prefetcher("nextline", NextLinePrefetcher)

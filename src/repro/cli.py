@@ -4,11 +4,18 @@ Commands
 --------
 ``apps``        list the nine applications and their footprints.
 ``profile``     profile one application and summarize its misses.
-``plan``        build an I-SPY (or AsmDB) plan and describe it.
-``evaluate``    run baseline / ideal / AsmDB / I-SPY on one app.
+``plan``        build and describe any plan-producing prefetcher's plan.
+``evaluate``    run baseline / ideal / AsmDB / I-SPY on one app
+                (``--prefetcher`` adds any other registered variant).
+``matrix``      every registered prefetcher on one yardstick.
 ``figure``      regenerate one paper figure table (e.g. ``fig10``).
 ``headline``    the abstract's aggregate numbers over all nine apps.
 ``report``      generate a full markdown evaluation report.
+
+The ``--prefetcher`` names come from the zoo registry
+(:func:`repro.baselines.prefetcher_names`); any prefetcher registered
+through :func:`repro.baselines.register_prefetcher` is immediately
+addressable from every command here.
 
 Every evaluating command shares one set of run-configuration flags
 (scale, jobs, cache, kernel gate, telemetry) registered by
@@ -26,6 +33,8 @@ Examples
     python -m repro evaluate wordpress --trace t.jsonl --manifest m.json
     python -m repro figure fig11 --scale 0.6
     python -m repro plan kafka --prefetcher asmdb
+    python -m repro evaluate wordpress --prefetcher mana --prefetcher fdip
+    python -m repro matrix --apps wordpress kafka --json matrix.json
     # stream replays in 20k-instruction shards; with a cache directory,
     # a killed run resumes from the last completed shard when re-run
     python -m repro evaluate wordpress --shard-insns 20000 --cache .repro-cache
@@ -44,11 +53,13 @@ from typing import List, Optional, Tuple
 
 from .analysis import experiments as exp
 from .analysis.reporting import percent, render_table
+from .baselines import protocol as zoo
 from .runconfig import RunConfig, add_run_arguments
 from .workloads.apps import APP_NAMES
 
 #: figure name -> experiments function (single-table figures only)
 FIGURES = {
+    "matrix": exp.matrix_prefetchers,
     "table1": exp.table1_system,
     "fig01": exp.fig01_frontend_bound,
     "fig03": exp.fig03_fanout_tradeoff,
@@ -126,10 +137,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     config, evaluator = _begin(args)
     evaluation = evaluator[args.app]
-    if args.prefetcher == "asmdb":
-        plan = evaluation.asmdb_plan()
-    else:
-        plan = evaluation.ispy_plan()
+    plan = evaluation.plan_for(args.prefetcher)
     text = evaluation.app.program.text_bytes
     print(f"{args.prefetcher} plan for {args.app}:")
     print(f"  instructions: {len(plan)}")
@@ -145,12 +153,14 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     config, evaluator = _begin(args)
-    evaluator.prewarm(
-        apps=[args.app], variants=("baseline", "ideal", "asmdb", "ispy")
-    )
+    variants = ["baseline", "ideal", "asmdb", "ispy"]
+    for extra in args.prefetcher or ():
+        if extra not in variants:
+            variants.append(extra)
+    evaluator.prewarm(apps=[args.app], variants=tuple(variants))
     evaluation = evaluator[args.app]
     rows = []
-    for variant in ("baseline", "ideal", "asmdb", "ispy"):
+    for variant in variants:
         stats = evaluation.stats_for(variant)
         row = {
             "variant": variant,
@@ -160,7 +170,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         }
         if variant not in ("baseline",):
             row["speedup"] = evaluation.speedup(variant)
-        if variant in ("asmdb", "ispy"):
+        if variant not in ("baseline", "ideal"):
             row["pct_of_ideal"] = evaluation.percent_of_ideal(variant)
         rows.append(row)
     print(
@@ -192,6 +202,32 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                 f"  {channel:21s} {attribution[channel]:12.0f} cycles "
                 f"({percent(fraction)})"
             )
+    _finish(config, evaluator)
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    config, evaluator = _begin(args)
+    prefetchers = tuple(args.prefetcher) if args.prefetcher else (
+        exp.MATRIX_PREFETCHERS
+    )
+    apps = tuple(args.apps) if args.apps else exp.SWEEP_APPS
+    if args.jobs != 1:
+        evaluator.prewarm(apps=apps, variants=prefetchers)
+    rows = exp.matrix_prefetchers(evaluator, apps=apps, prefetchers=prefetchers)
+    print(
+        render_table(
+            rows,
+            title=f"prefetcher matrix ({', '.join(apps)})",
+            precision=4,
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"apps": list(apps), "rows": rows}, handle, indent=2)
+        print(f"matrix written to {args.json}")
     _finish(config, evaluator)
     return 0
 
@@ -285,15 +321,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan = commands.add_parser("plan", help="build and describe a plan")
     p_plan.add_argument("app", choices=APP_NAMES)
     p_plan.add_argument(
-        "--prefetcher", choices=("ispy", "asmdb"), default="ispy"
+        "--prefetcher",
+        choices=zoo.plan_prefetcher_names(),
+        default="ispy",
+        help="any plan-producing member of the prefetcher zoo",
     )
     add_run_arguments(p_plan)
     p_plan.set_defaults(func=cmd_plan)
 
     p_eval = commands.add_parser("evaluate", help="evaluate one application")
     p_eval.add_argument("app", choices=APP_NAMES)
+    p_eval.add_argument(
+        "--prefetcher",
+        action="append",
+        choices=zoo.prefetcher_names(),
+        metavar="NAME",
+        help="additional zoo variants beyond baseline/ideal/asmdb/ispy "
+        f"(choices: {', '.join(zoo.prefetcher_names())}; repeatable)",
+    )
     add_run_arguments(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_matrix = commands.add_parser(
+        "matrix", help="compare every registered prefetcher on one yardstick"
+    )
+    p_matrix.add_argument(
+        "--apps", nargs="+", choices=APP_NAMES, default=None,
+        help=f"applications to average over (default: {' '.join(exp.SWEEP_APPS)})",
+    )
+    p_matrix.add_argument(
+        "--prefetcher",
+        action="append",
+        choices=("baseline",) + zoo.prefetcher_names(),
+        metavar="NAME",
+        help="restrict the matrix to these rows (default: the full zoo)",
+    )
+    p_matrix.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the rows as JSON (the benchmark artifact format)",
+    )
+    add_run_arguments(p_matrix)
+    p_matrix.set_defaults(func=cmd_matrix)
 
     p_figure = commands.add_parser("figure", help="regenerate a paper figure")
     p_figure.add_argument("name", help="e.g. fig10, fig21, table1")

@@ -25,7 +25,6 @@ bit-identical whatever the sinks.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -270,23 +269,4 @@ def add_run_arguments(
     )
 
 
-_SCATTERED_WARNED = False
-
-
-def warn_scattered_kwargs() -> None:
-    """One DeprecationWarning per process for ``Evaluator(**kwargs)``
-    construction with scattered store/jobs/perf arguments."""
-    global _SCATTERED_WARNED
-    if _SCATTERED_WARNED:
-        return
-    _SCATTERED_WARNED = True
-    warnings.warn(
-        "passing store/jobs/perf to Evaluator directly is deprecated; "
-        "build a repro.RunConfig and call RunConfig.evaluator() (or pass "
-        "Evaluator(config=...)) instead",
-        DeprecationWarning,
-        stacklevel=4,
-    )
-
-
-__all__ = ["RunConfig", "add_run_arguments", "warn_scattered_kwargs"]
+__all__ = ["RunConfig", "add_run_arguments"]

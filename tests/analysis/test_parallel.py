@@ -153,12 +153,19 @@ class TestKeyGranularity:
         assert len(keys) == 4
 
     def test_plan_keys_depend_on_planner_parameters(self):
-        ev = self.evaluation()
-        assert ev._asmdb_plan_key(0.90) != ev._asmdb_plan_key(0.95)
+        from repro.baselines import get_prefetcher
         from repro.core.config import DEFAULT_CONFIG
 
-        assert ev._ispy_plan_key(DEFAULT_CONFIG) != ev._ispy_plan_key(
-            DEFAULT_CONFIG.conditional_only()
+        ev = self.evaluation()
+
+        def plan_key(prefetcher):
+            return ev._key("plan", **prefetcher.plan_key_parts())
+
+        assert plan_key(
+            get_prefetcher("asmdb", fanout_threshold=0.90)
+        ) != plan_key(get_prefetcher("asmdb", fanout_threshold=0.95))
+        assert plan_key(get_prefetcher("ispy")) != plan_key(
+            get_prefetcher("ispy", config=DEFAULT_CONFIG.conditional_only())
         )
 
     def test_sweep_stats_do_not_alias(self, tmp_path):

@@ -4,6 +4,7 @@ the per-variant ``run_plan`` path."""
 
 import pytest
 
+from repro import kernel
 from repro.analysis.experiments import (
     AppEvaluation,
     Evaluator,
@@ -32,6 +33,16 @@ def _sweep_plans(evaluation, minima=(5, 27, 108)):
         )
         for m in minima
     ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _columnar_kernel():
+    # this module asserts simulate:columnar-plan-batch backend
+    # counters, which require the kernel; pin it on so the module is
+    # independent of REPRO_NUMPY_KERNEL (kernel-off batching equality
+    # lives in tests/sim/test_batch_differential.py)
+    with kernel.force_numpy_kernel():
+        yield
 
 
 @pytest.fixture(scope="module")

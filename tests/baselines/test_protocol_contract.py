@@ -1,0 +1,312 @@
+"""Shared contract tests over every registered zoo member.
+
+Each registered prefetcher — whatever its mechanism — must honour the
+:class:`repro.baselines.Prefetcher` protocol: typed train/simulate
+results, determinism, truthful capability flags (shard replay is
+bit-identical where advertised and rejected where not), and pristine
+state between simulate calls.  The differential classes additionally
+pin the protocol adapters to the pre-protocol call paths bit-for-bit,
+so porting the baselines onto the registry changed no statistic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import protocol as zoo
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.instructions import PrefetchPlan
+from repro.io import stats_to_record
+from repro.sim.stats import SimStats
+
+ALL_PREFETCHERS = zoo.prefetcher_names()
+
+EVAL_WARMUP = 2_000
+
+
+@pytest.fixture(scope="module")
+def view(small_app, small_profile):
+    return zoo.ProfileView(small_app.program, small_profile)
+
+
+@pytest.fixture(scope="module")
+def contract_trace(small_app):
+    """A short evaluation trace, disjoint from the profiling trace."""
+    return small_app.trace(10_000, seed=small_app.spec.seed + 4242)
+
+
+def eval_ctx(small_app, **overrides):
+    """A fresh ReplayContext per call — data traffic is stateful."""
+    kwargs = dict(
+        data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+        warmup=EVAL_WARMUP,
+    )
+    kwargs.update(overrides)
+    return zoo.ReplayContext(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def contract_stats(small_app, view, contract_trace):
+    """One simulate per registered member, shared by the assertions."""
+    stats = {}
+    for name in ALL_PREFETCHERS:
+        prefetcher = zoo.get_prefetcher(name)
+        stats[name] = prefetcher.simulate(
+            view, contract_trace, eval_ctx(small_app)
+        )
+    return stats
+
+
+@pytest.mark.parametrize("name", ALL_PREFETCHERS)
+class TestProtocolContract:
+    def test_capability_flags_are_booleans(self, name):
+        prefetcher = zoo.get_prefetcher(name)
+        capabilities = prefetcher.capabilities()
+        assert set(capabilities) == {
+            "requires_profile",
+            "produces_plan",
+            "supports_plan_replay",
+            "supports_sharding",
+            "supports_batch",
+        }
+        assert all(isinstance(flag, bool) for flag in capabilities.values())
+        assert isinstance(prefetcher.planner, str) and prefetcher.planner
+        assert isinstance(prefetcher.name, str) and prefetcher.name
+        assert isinstance(prefetcher.cache_token, str) and prefetcher.cache_token
+
+    def test_train_matches_produces_plan(self, name, view):
+        prefetcher = zoo.get_prefetcher(name)
+        plan = prefetcher.train(view)
+        if prefetcher.produces_plan:
+            assert isinstance(plan, PrefetchPlan)
+            assert len(plan) > 0
+            # plan-producing members must be storable: key parts are
+            # a dict carrying at least the planner family
+            parts = prefetcher.plan_key_parts()
+            assert parts["planner"] == prefetcher.planner
+        else:
+            assert plan is None
+            with pytest.raises(NotImplementedError):
+                prefetcher.plan_key_parts()
+
+    def test_simulate_returns_stats(self, name, contract_stats):
+        stats = contract_stats[name]
+        assert isinstance(stats, SimStats)
+        assert stats.cycles > 0
+        assert stats.program_instructions > 0
+
+    def test_simulate_is_deterministic(
+        self, name, small_app, view, contract_trace, contract_stats
+    ):
+        """A second simulate on a fresh instance is bit-identical —
+        no hidden state leaks between runs or instances."""
+        prefetcher = zoo.get_prefetcher(name)
+        again = prefetcher.simulate(view, contract_trace, eval_ctx(small_app))
+        assert stats_to_record(again) == stats_to_record(contract_stats[name])
+
+    def test_repeat_simulate_on_one_instance_is_pristine(
+        self, name, small_app, view, contract_trace, contract_stats
+    ):
+        """Two simulates on the *same* instance agree: every call
+        starts from a pristine hierarchy."""
+        prefetcher = zoo.get_prefetcher(name)
+        first = prefetcher.simulate(view, contract_trace, eval_ctx(small_app))
+        second = prefetcher.simulate(view, contract_trace, eval_ctx(small_app))
+        assert stats_to_record(first) == stats_to_record(second)
+
+    def test_sharding_honoured_or_rejected(
+        self, name, small_app, view, contract_trace, contract_stats
+    ):
+        prefetcher = zoo.get_prefetcher(name)
+        ctx = eval_ctx(small_app, shard_insns=7_000)
+        if prefetcher.supports_sharding:
+            sharded = prefetcher.simulate(view, contract_trace, ctx)
+            assert stats_to_record(sharded) == stats_to_record(
+                contract_stats[name]
+            )
+        else:
+            with pytest.raises(ValueError, match="shard"):
+                prefetcher.simulate(view, contract_trace, ctx)
+
+    def test_static_footprint_accounting(self, name, view):
+        prefetcher = zoo.get_prefetcher(name)
+        footprint = prefetcher.static_footprint(view)
+        assert isinstance(footprint, zoo.Footprint)
+        assert footprint.injected_bytes >= 0
+        assert footprint.metadata_bytes >= 0
+        if prefetcher.produces_plan:
+            assert footprint.injected_bytes > 0
+        else:
+            assert footprint.injected_bytes == 0
+            assert footprint.static_increase(view.text_bytes) == 0.0
+
+
+class TestDifferentialOldVsNew:
+    """The protocol adapters reproduce the pre-registry call paths
+    bit-for-bit (the PR's no-regression pin)."""
+
+    def _protocol_stats(self, small_app, view, trace, name, **overrides):
+        prefetcher = zoo.get_prefetcher(name, **overrides)
+        return prefetcher.simulate(view, trace, eval_ctx(small_app))
+
+    def test_ispy_plan_replay(self, small_app, small_profile, contract_trace, view):
+        from repro.core.ispy import build_ispy_plan
+        from repro.sim.cpu import simulate
+
+        direct = simulate(
+            small_app.program,
+            contract_trace,
+            plan=build_ispy_plan(
+                small_app.program, small_profile, DEFAULT_CONFIG
+            ).plan,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        ported = self._protocol_stats(small_app, view, contract_trace, "ispy")
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    def test_asmdb_plan_replay(self, small_app, small_profile, contract_trace, view):
+        from repro.baselines.asmdb import build_asmdb_plan
+        from repro.sim.cpu import simulate
+
+        direct = simulate(
+            small_app.program,
+            contract_trace,
+            plan=build_asmdb_plan(small_app.program, small_profile).plan,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        ported = self._protocol_stats(small_app, view, contract_trace, "asmdb")
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    def test_ideal(self, small_app, contract_trace, view):
+        from repro.sim.cpu import simulate
+
+        direct = simulate(small_app.program, contract_trace, ideal=True)
+        prefetcher = zoo.get_prefetcher("ideal")
+        ported = prefetcher.simulate(
+            view, contract_trace, zoo.ReplayContext()
+        )
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    def test_nextline(self, small_app, contract_trace, view):
+        from repro.baselines.nextline import simulate_nextline
+
+        direct = simulate_nextline(
+            small_app.program,
+            contract_trace,
+            lines_ahead=1,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        ported = self._protocol_stats(small_app, view, contract_trace, "nextline")
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    def test_fdip(self, small_app, contract_trace, view):
+        from repro.baselines.fdip import simulate_fdip
+
+        direct = simulate_fdip(
+            small_app.program,
+            contract_trace,
+            runahead=16,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        ported = self._protocol_stats(small_app, view, contract_trace, "fdip")
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    @pytest.mark.parametrize("variant,contiguous", [
+        ("contiguous8", True),
+        ("noncontiguous8", False),
+    ])
+    def test_window_studies(
+        self, small_app, small_profile, contract_trace, view, variant, contiguous
+    ):
+        from dataclasses import replace
+
+        from repro.baselines.contiguous import simulate_window_prefetcher
+
+        kwargs = {}
+        if not contiguous:
+            # the Fig. 5 study filters on *all* profiled misses
+            kwargs["config"] = replace(DEFAULT_CONFIG, min_miss_samples=1)
+        direct = simulate_window_prefetcher(
+            small_app.program,
+            contract_trace,
+            profile=small_profile,
+            window=8,
+            contiguous=contiguous,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+            **kwargs,
+        )
+        ported = self._protocol_stats(small_app, view, contract_trace, variant)
+        assert stats_to_record(ported) == stats_to_record(direct)
+
+    def test_plan_replay_adapter_is_run_plan(self, small_app, contract_trace):
+        """PlanReplay(None) is exactly the no-prefetch baseline."""
+        from repro.sim.cpu import simulate
+
+        direct = simulate(
+            small_app.program,
+            contract_trace,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        replayer = zoo.PlanReplay(None)
+        ported = replayer.simulate(
+            zoo.ProfileView(small_app.program),
+            contract_trace,
+            eval_ctx(small_app),
+        )
+        assert stats_to_record(ported) == stats_to_record(direct)
+        assert replayer.last_replay_backend is not None
+
+
+class TestManaMember:
+    """MANA-specific guarantees beyond the shared contract."""
+
+    def test_trains_nonempty_table_on_wordpress(self, view):
+        from repro.baselines.mana import ManaResult
+
+        prefetcher = zoo.get_prefetcher("mana")
+        result = prefetcher.train_result(view)
+        assert isinstance(result, ManaResult)
+        assert len(result.table.regions) > 0
+        # the exported plan view mirrors the table
+        assert len(result.plan) == len(result.table.regions)
+
+    def test_hobpt_compaction_saves_storage(self, view):
+        prefetcher = zoo.get_prefetcher("mana")
+        result = prefetcher.train_result(view)
+        storage = result.table.storage()
+        assert storage["compact_bits"] < storage["naive_bits"]
+        assert storage["hob_patterns"] <= storage["records"]
+        assert prefetcher.metadata_bytes(result) == storage["metadata_bytes"]
+        assert prefetcher.metadata_bytes(result) > 0
+
+    def test_reuses_harness_train_cache(self, small_app, view, contract_trace):
+        """ctx.trained short-circuits retraining inside simulate."""
+        prefetcher = zoo.get_prefetcher("mana")
+        trained = prefetcher.train_result(view)
+        with_cache = prefetcher.simulate(
+            view, contract_trace, eval_ctx(small_app, trained=trained)
+        )
+        without = prefetcher.simulate(view, contract_trace, eval_ctx(small_app))
+        assert stats_to_record(with_cache) == stats_to_record(without)
+
+    def test_covers_misses(self, small_app, view, contract_trace):
+        """MANA's region chains must hide a real share of the
+        baseline's misses on its training app."""
+        from repro.sim.cpu import simulate
+
+        base = simulate(
+            small_app.program,
+            contract_trace,
+            data_traffic=small_app.data_traffic(seed=small_app.spec.seed + 777),
+            warmup=EVAL_WARMUP,
+        )
+        prefetcher = zoo.get_prefetcher("mana")
+        stats = prefetcher.simulate(view, contract_trace, eval_ctx(small_app))
+        assert stats.prefetches_issued > 0
+        assert stats.l1i_misses < base.l1i_misses

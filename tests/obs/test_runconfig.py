@@ -172,17 +172,20 @@ class TestFinalize:
         assert "timing" in capsys.readouterr().out.lower()
 
 
-class TestDeprecationShim:
-    def test_scattered_kwargs_warn_once(self, tmp_path):
-        runconfig_mod._SCATTERED_WARNED = False
-        try:
-            with pytest.warns(DeprecationWarning, match="RunConfig"):
-                Evaluator(SETTINGS, store=tmp_path / "cache")
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
-                Evaluator(SETTINGS, jobs=2)  # second offence is silent
-        finally:
-            runconfig_mod._SCATTERED_WARNED = True
+class TestScatteredKwargsRemoved:
+    """The PR 4 deprecation cycle is over: scattered kwargs now raise."""
+
+    def test_scattered_kwargs_raise_type_error(self, tmp_path):
+        with pytest.raises(TypeError, match="RunConfig"):
+            Evaluator(SETTINGS, store=tmp_path / "cache")
+        with pytest.raises(TypeError, match="RunConfig"):
+            Evaluator(SETTINGS, jobs=2)
+        with pytest.raises(TypeError, match="RunConfig"):
+            Evaluator(SETTINGS, perf=PerfRegistry())
+
+    def test_shim_is_gone_from_the_module(self):
+        assert not hasattr(runconfig_mod, "warn_scattered_kwargs")
+        assert "warn_scattered_kwargs" not in runconfig_mod.__all__
 
     def test_settings_only_construction_is_silent(self):
         with warnings.catch_warnings():
@@ -190,19 +193,15 @@ class TestDeprecationShim:
             Evaluator(SETTINGS)
             Evaluator()
 
-    def test_config_construction_is_silent(self):
+    def test_config_construction_is_silent(self, tmp_path):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            Evaluator(config=RunConfig(settings=SETTINGS, jobs=2))
-
-    def test_scattered_kwargs_still_work(self, tmp_path):
-        runconfig_mod._SCATTERED_WARNED = True
-        perf = PerfRegistry()
-        evaluator = Evaluator(
-            SETTINGS, store=tmp_path / "cache", jobs=2, perf=perf
-        )
+            evaluator = Evaluator(
+                config=RunConfig(
+                    settings=SETTINGS, store=tmp_path / "cache", jobs=2
+                )
+            )
         assert evaluator.jobs == 2
-        assert evaluator.perf is perf
         assert evaluator.store is not None
         assert evaluator.config.settings == SETTINGS
 

@@ -85,9 +85,13 @@ def _batched(program, trace, plans, width, warmup=0, shard_insns=None,
     for lo in range(0, len(plans), step):
         chunk = plans[lo:lo + step]
         cores = [_core(program, plan, traffic_seed) for plan in chunk]
-        reasons = run_plan_batch(
-            cores, trace, warmup=warmup, shard_insns=shard_insns
-        )
+        # pin the kernel on: the batch requires it, and this helper's
+        # assertions are about batching (REPRO_NUMPY_KERNEL=0 runs
+        # would otherwise fall back with "kernel-disabled")
+        with kernel.force_numpy_kernel():
+            reasons = run_plan_batch(
+                cores, trace, warmup=warmup, shard_insns=shard_insns
+            )
         for core, reason in zip(cores, reasons):
             assert reason is None, f"unexpected fallback: {reason}"
             assert core.last_replay_backend == "columnar-plan-batch"
@@ -158,7 +162,8 @@ class TestFallbacks:
             dirty,
             _core(program, other, None),
         ]
-        reasons = run_plan_batch(cores, trace)
+        with kernel.force_numpy_kernel():
+            reasons = run_plan_batch(cores, trace)
         assert reasons[0] is None
         assert reasons[1] == "no-plan"
         assert reasons[2] is not None
@@ -214,8 +219,9 @@ def test_batch_property(data):
                      shard_insns=shard_insns, traffic_seed=traffic_seed)
 
     cores = [_core(program, plan, traffic_seed) for plan in plans]
-    reasons = run_plan_batch(cores, trace, warmup=warmup,
-                             shard_insns=shard_insns)
+    with kernel.force_numpy_kernel():
+        reasons = run_plan_batch(cores, trace, warmup=warmup,
+                                 shard_insns=shard_insns)
     for i, (core, reason, plan) in enumerate(zip(cores, reasons, plans)):
         if plan is None:
             assert reason == "no-plan"

@@ -62,7 +62,8 @@ class TestApiSnapshot:
             # core
             "ISpy", "ISpyConfig", "build_ispy_plan", "PrefetchPlan",
             "PrefetchInstr",
-            # baselines
+            # baselines (the prefetcher zoo)
+            "Prefetcher", "get_prefetcher", "prefetcher_names",
             "build_asmdb_plan", "simulate_ideal", "simulate_nextline",
             # analysis
             "Evaluator", "ExperimentSettings", "render_table",
@@ -78,6 +79,84 @@ class TestApiSnapshot:
         names = [n for n in repro.__all__ if n != "__version__"]
         assert names == sorted(names)
         assert len(repro.__all__) == len(set(repro.__all__))
+
+
+class TestBaselinesApiSnapshot:
+    """The prefetcher-zoo package surface, same contract as above."""
+
+    SNAPSHOT = frozenset(
+        {
+            # protocol & registry
+            "Footprint", "PlanReplay", "Prefetcher", "ProfileView",
+            "ReplayContext", "capability_rows", "get_prefetcher",
+            "plan_of", "plan_prefetcher_names", "prefetcher_names",
+            "register_prefetcher",
+            # asmdb
+            "ASMDB_FANOUT_THRESHOLD", "AsmDBPrefetcher", "AsmDBResult",
+            "build_asmdb_plan",
+            # window limit study
+            "WindowPrefetcher", "build_contiguous_plan",
+            "build_noncontiguous_plan", "build_window_plan",
+            "simulate_window_prefetcher",
+            # fdip
+            "BimodalBTB", "FDIPPrefetcher", "simulate_fdip",
+            # ideal
+            "IdealPrefetcher", "simulate_ideal",
+            # ispy adapter
+            "ISpyPrefetcher",
+            # nextline
+            "NextLinePrefetcher", "simulate_nextline",
+            # mana
+            "ManaPrefetcher", "ManaResult", "ManaTable",
+            "build_mana_table", "simulate_mana",
+        }
+    )
+
+    #: every registered zoo member; additions are deliberate
+    REGISTRY = frozenset(
+        {
+            "asmdb",
+            "contiguous8",
+            "noncontiguous8",
+            "fdip",
+            "ideal",
+            "ispy",
+            "ispy-conditional",
+            "ispy-coalescing",
+            "mana",
+            "nextline",
+        }
+    )
+
+    def test_all_matches_snapshot(self):
+        from repro import baselines
+
+        assert set(baselines.__all__) == self.SNAPSHOT
+
+    def test_all_exports_resolve(self):
+        from repro import baselines
+
+        for name in baselines.__all__:
+            assert getattr(baselines, name) is not None
+
+    def test_all_is_sorted(self):
+        from repro import baselines
+
+        assert list(baselines.__all__) == sorted(baselines.__all__)
+
+    def test_registry_matches_snapshot(self):
+        from repro.baselines import prefetcher_names
+
+        assert set(prefetcher_names()) == self.REGISTRY
+
+    def test_zoo_exports_are_canonical(self):
+        from repro import baselines
+        from repro.baselines.protocol import Prefetcher, get_prefetcher
+
+        assert baselines.Prefetcher is Prefetcher
+        assert baselines.get_prefetcher is get_prefetcher
+        assert repro.Prefetcher is Prefetcher
+        assert repro.get_prefetcher is get_prefetcher
 
 
 class TestDocstringQuickstartShape:
