@@ -1,0 +1,138 @@
+"""Ingestion-throughput benchmark: instructions/second and peak heap.
+
+Expands a wordpress-scale block trace into a ChampSim-style binary,
+then measures three rates best-of-N:
+
+* **decode** — ``read_records`` alone, the raw 64-byte record parse;
+* **ingest** — the full frontend (decode + leader-based basic-block
+  reconstruction + layout synthesis + trace emission);
+* **persist** — ``write_ingested``, the on-disk shard write.
+
+The guarded headline is ``relative_throughput`` — the ingest rate as
+a fraction of the pure decode rate measured in the same process.
+Both sides of that ratio run on the same host and Python, so host
+speed divides out and the guard (``scripts/bench_diff.py``, 0.9x
+floor) catches real reconstruction-cost regressions rather than
+machine noise.  Peak ingest heap is measured with ``tracemalloc`` and
+recorded per record (the frontend should stay O(footprint), not
+O(trace)).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+
+from repro.analysis.reporting import render_table
+from repro.workloads import ingest as ing
+from repro.workloads.apps import build_app
+
+from .conftest import write_json, write_result
+
+APP = "wordpress"
+SCALE = 0.5
+TRACE_BLOCKS = 60_000
+REPEATS = 3
+SHARD_INSNS = 100_000
+
+
+def _best(fn):
+    """Best-of-REPEATS wall time and the last call's result."""
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_ingest_throughput(results_dir, tmp_path):
+    app = build_app(APP, scale=SCALE)
+    trace = app.trace(TRACE_BLOCKS, seed=app.spec.seed + 909)
+    fixture = tmp_path / "bench.champsim.trace"
+    records = ing.write_champsim_fixture(fixture, app.program, trace)
+
+    t_decode, decoded = _best(
+        lambda: sum(1 for _ in ing.iter_champsim(fixture))
+    )
+    assert decoded == records
+
+    t_ingest, workload = _best(lambda: ing.ingest_trace_file(fixture))
+    insns = workload.report["instructions"]
+    assert insns == records
+
+    t_persist, sharded = _best(
+        lambda: ing.write_ingested(
+            workload, tmp_path / "shards", shard_insns=SHARD_INSNS
+        )
+    )
+
+    tracemalloc.start()
+    ing.ingest_trace_file(fixture)
+    _current, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    decode_rate = records / t_decode
+    ingest_rate = insns / t_ingest
+    relative = ingest_rate / decode_rate
+    assert 0.0 < relative <= 1.0
+
+    payload = {
+        "host": {"python": sys.version.split()[0]},
+        "workload": {
+            "app": APP,
+            "scale": SCALE,
+            "trace_blocks": TRACE_BLOCKS,
+            "records": records,
+            "reconstructed_blocks": workload.report["blocks"],
+            "regions": workload.report["regions"],
+            "shards": sharded.num_shards,
+        },
+        "measured": {
+            "decode_seconds": t_decode,
+            "ingest_seconds": t_ingest,
+            "persist_seconds": t_persist,
+            "decode_insns_per_second": decode_rate,
+            "ingest_insns_per_second": ingest_rate,
+            "persist_insns_per_second": insns / t_persist,
+            "relative_throughput": relative,
+            "ingest_peak_heap_bytes": peak_bytes,
+            "ingest_peak_heap_bytes_per_record": peak_bytes / records,
+        },
+        "guard_note": (
+            "relative_throughput = ingest rate / pure-decode rate, "
+            "measured back-to-back in one process; host speed divides "
+            "out, so a drop means the reconstruction passes themselves "
+            "got slower relative to the record parse they sit on"
+        ),
+    }
+    write_json(results_dir, "ingest", payload)
+
+    rows = [
+        {
+            "stage": "decode (read_records)",
+            "wall_s": round(t_decode, 3),
+            "insns_per_s": f"{decode_rate:,.0f}",
+        },
+        {
+            "stage": "ingest (full frontend)",
+            "wall_s": round(t_ingest, 3),
+            "insns_per_s": f"{ingest_rate:,.0f}",
+        },
+        {
+            "stage": f"persist (shard_insns={SHARD_INSNS})",
+            "wall_s": round(t_persist, 3),
+            "insns_per_s": f"{insns / t_persist:,.0f}",
+        },
+    ]
+    table = render_table(
+        rows,
+        title=(
+            f"trace ingestion ({records:,} records, relative "
+            f"throughput {relative:.3f}, peak heap "
+            f"{peak_bytes / 2**20:.1f} MiB)"
+        ),
+    )
+    write_result(results_dir, "ingest_throughput", table)

@@ -3,8 +3,8 @@
 
 Compares freshly generated benchmark JSON against the copies
 committed at ``HEAD`` and fails when a guarded headline number drops
-below ``--min-ratio`` of the committed value.  Two benchmarks are
-guarded:
+below ``--min-ratio`` of the committed value.  The guarded
+benchmarks:
 
 * ``BENCH_parallel_shards.json`` — the exact-mode *projected
   8-worker speedup* of the multi-level round decomposition.  The
@@ -14,6 +14,10 @@ guarded:
   speedup (one ``columnar-plan-batch`` pass vs per-variant
   ``columnar-plan`` replays).  This is a wall-clock ratio of two
   runs on the same host, so host speed divides out.
+* ``BENCH_ingest.json`` — the ingestion frontend's *relative
+  throughput* (full-ingest rate over pure record-decode rate, both
+  measured in the same process), so host speed divides out and the
+  guard tracks the reconstruction passes' own cost.
 * ``BENCH_prefetcher_matrix.json`` — I-SPY's mean *simulated*
   speedup over the sweep apps from the prefetcher-matrix benchmark.
   Simulated cycles are deterministic, so any drop is a genuine
@@ -61,6 +65,10 @@ def _batched_metric(payload: dict) -> float:
     return float(payload["measured"]["speedup"])
 
 
+def _ingest_metric(payload: dict) -> float:
+    return float(payload["measured"]["relative_throughput"])
+
+
 def _matrix_metric(payload: dict) -> float:
     rows = payload["rows"]
     if "mana" not in rows:
@@ -92,6 +100,17 @@ GUARDS = {
             "check the batch_phase_seconds decomposition for "
             "per-variant work creeping into a shared phase, or "
             "consciously recommit the benchmark JSON with "
+            "justification"
+        ),
+    },
+    "ingest": {
+        "relpath": "benchmarks/results/BENCH_ingest.json",
+        "metric": _ingest_metric,
+        "label": "ingest relative throughput (ingest rate / decode rate)",
+        "hint": (
+            "the ingestion frontend got slower relative to the raw "
+            "record decode it sits on; profile the reconstruction "
+            "passes or consciously recommit the benchmark JSON with "
             "justification"
         ),
     },

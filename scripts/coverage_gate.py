@@ -49,6 +49,12 @@ GATED_TREES = {
     "src/repro/sim/stats.py": os.path.join(
         "src", "repro", "sim", "stats.py"
     ),
+    "src/repro/workloads/ingest.py": os.path.join(
+        "src", "repro", "workloads", "ingest.py"
+    ),
+    "src/repro/workloads/adversarial.py": os.path.join(
+        "src", "repro", "workloads", "adversarial.py"
+    ),
 }
 
 

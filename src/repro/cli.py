@@ -2,7 +2,7 @@
 
 Commands
 --------
-``apps``        list the nine applications and their footprints.
+``apps``        list the applications (paper + adversarial) and footprints.
 ``profile``     profile one application and summarize its misses.
 ``plan``        build and describe any plan-producing prefetcher's plan.
 ``evaluate``    run baseline / ideal / AsmDB / I-SPY on one app
@@ -11,6 +11,13 @@ Commands
 ``figure``      regenerate one paper figure table (e.g. ``fig10``).
 ``headline``    the abstract's aggregate numbers over all nine apps.
 ``report``      generate a full markdown evaluation report.
+``ingest``      land an external instruction trace (ChampSim-style
+                binary, JSONL or CSV) as an on-disk sharded trace with
+                a reconstructed program view.
+
+``profile``/``plan``/``evaluate``/``matrix`` accept the paper's nine
+apps *and* the adversarial roster (``bloom-storm``, ``hash-alias``,
+``phase-chain`` — see :mod:`repro.workloads.adversarial`).
 
 The ``--prefetcher`` names come from the zoo registry
 (:func:`repro.baselines.prefetcher_names`); any prefetcher registered
@@ -55,7 +62,7 @@ from .analysis import experiments as exp
 from .analysis.reporting import percent, render_table
 from .baselines import protocol as zoo
 from .runconfig import RunConfig, add_run_arguments
-from .workloads.apps import APP_NAMES
+from .workloads.apps import ALL_APP_NAMES, APP_NAMES
 
 #: figure name -> experiments function (single-table figures only)
 FIGURES = {
@@ -95,11 +102,12 @@ def cmd_apps(args: argparse.Namespace) -> int:
     from .workloads.apps import build_app
 
     rows = []
-    for name in APP_NAMES:
+    for name in ALL_APP_NAMES:
         app = build_app(name, scale=args.scale)
         rows.append(
             {
                 "app": name,
+                "roster": "paper" if name in APP_NAMES else "adversarial",
                 "blocks": len(app.program),
                 "text_kib": app.program.text_bytes // 1024,
                 "request_types": app.spec.request_types,
@@ -290,6 +298,50 @@ def cmd_headline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .workloads import ingest as ing
+
+    fmt = args.format or ing.detect_format(args.trace_file)
+    workload = ing.ingest_trace_file(
+        args.trace_file, fmt=fmt, name=args.name
+    )
+    report = dict(workload.report)
+    sharded = ing.write_ingested(workload, args.output, args.shard_insns)
+    report["shards"] = sharded.num_shards
+    report["shard_insns"] = args.shard_insns
+    report["output"] = args.output
+    print(
+        f"{args.trace_file} [{fmt}]: {report['records']} records -> "
+        f"{report['blocks']} blocks "
+        f"({report['text_bytes'] / 1024:.1f} KiB text, "
+        f"{report['regions']} regions), "
+        f"{len(workload.trace)} trace entries in {sharded.num_shards} "
+        f"shard(s) at {args.output}"
+    )
+    if args.replay:
+        from .sim.cpu import CoreSimulator
+
+        core = CoreSimulator(workload.program)
+        stats = core.run(sharded)
+        report["replay"] = {
+            "backend": core.last_replay_backend,
+            "l1i_mpki": stats.l1i_mpki,
+            "ipc": stats.ipc,
+        }
+        print(
+            f"replay [{core.last_replay_backend}]: "
+            f"{stats.l1i_mpki:.2f} MPKI, IPC {stats.ipc:.2f}"
+        )
+    # the report doubles as the run's provenance record (the trace
+    # metadata embedded in index.json carries the same source fields)
+    with open(os.path.join(args.output, ing.REPORT_FILE), "w") as handle:
+        _json.dump(report, handle, indent=1)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import write_report
 
@@ -314,12 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_apps.set_defaults(func=cmd_apps)
 
     p_profile = commands.add_parser("profile", help="profile one application")
-    p_profile.add_argument("app", choices=APP_NAMES)
+    p_profile.add_argument("app", choices=ALL_APP_NAMES)
     add_run_arguments(p_profile)
     p_profile.set_defaults(func=cmd_profile)
 
     p_plan = commands.add_parser("plan", help="build and describe a plan")
-    p_plan.add_argument("app", choices=APP_NAMES)
+    p_plan.add_argument("app", choices=ALL_APP_NAMES)
     p_plan.add_argument(
         "--prefetcher",
         choices=zoo.plan_prefetcher_names(),
@@ -330,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.set_defaults(func=cmd_plan)
 
     p_eval = commands.add_parser("evaluate", help="evaluate one application")
-    p_eval.add_argument("app", choices=APP_NAMES)
+    p_eval.add_argument("app", choices=ALL_APP_NAMES)
     p_eval.add_argument(
         "--prefetcher",
         action="append",
@@ -346,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix", help="compare every registered prefetcher on one yardstick"
     )
     p_matrix.add_argument(
-        "--apps", nargs="+", choices=APP_NAMES, default=None,
+        "--apps", nargs="+", choices=ALL_APP_NAMES, default=None,
         help=f"applications to average over (default: {' '.join(exp.SWEEP_APPS)})",
     )
     p_matrix.add_argument(
@@ -380,6 +432,36 @@ def build_parser() -> argparse.ArgumentParser:
     # CPUs and persistently cached by default
     add_run_arguments(p_report, jobs_default=0, cache_default=".repro-cache")
     p_report.set_defaults(func=cmd_report)
+
+    p_ingest = commands.add_parser(
+        "ingest", help="land an external instruction trace on disk"
+    )
+    p_ingest.add_argument("trace_file", help="ChampSim binary / JSONL / CSV "
+                          "instruction trace (.gz/.xz handled)")
+    p_ingest.add_argument(
+        "-o", "--output", required=True, metavar="DIR",
+        help="shard directory to write (index.json + program.json)",
+    )
+    from .workloads.ingest import FORMATS
+
+    p_ingest.add_argument(
+        "--format", choices=FORMATS, default=None,
+        help="input format (default: detect from the file name)",
+    )
+    p_ingest.add_argument(
+        "--name", default=None,
+        help="program name recorded in the sidecar (default: file stem)",
+    )
+    p_ingest.add_argument(
+        "--shard-insns", type=int, default=100_000, metavar="N",
+        help="instructions per on-disk shard (default: 100000)",
+    )
+    p_ingest.add_argument(
+        "--replay", action="store_true",
+        help="replay the ingested trace once (baseline, no prefetcher) "
+        "and print its MPKI/IPC as an end-to-end check",
+    )
+    p_ingest.set_defaults(func=cmd_ingest)
 
     p_headline = commands.add_parser(
         "headline", help="abstract-level aggregate numbers"

@@ -152,6 +152,55 @@ class BlockTrace:
         return BlockTrace(self.block_ids[start:stop], dict(self.metadata))
 
 
+# -- program persistence ----------------------------------------------------
+
+PROGRAM_FORMAT = "program"
+PROGRAM_FORMAT_VERSION = 1
+
+
+def program_payload(program: Program) -> Dict[str, object]:
+    """A JSON-serializable description of *program*.
+
+    Columns are ``[block_id, address, size_bytes, instruction_count,
+    function_id]`` rows in address order — the sidecar format trace
+    ingestion writes next to its shard directories.
+    """
+    ordered = sorted(program, key=lambda b: b.address)
+    return {
+        "format": PROGRAM_FORMAT,
+        "version": PROGRAM_FORMAT_VERSION,
+        "name": program.name,
+        "blocks": [
+            [b.block_id, b.address, b.size_bytes, b.instruction_count,
+             b.function_id]
+            for b in ordered
+        ],
+    }
+
+
+def program_from_payload(payload: Dict[str, object]) -> Program:
+    """Rebuild a :class:`Program` from :func:`program_payload` output
+    (the constructor re-validates layout, so a corrupt sidecar fails
+    loudly rather than simulating garbage)."""
+    if payload.get("format") != PROGRAM_FORMAT:
+        raise ValueError(f"not a {PROGRAM_FORMAT} payload")
+    if payload.get("version") != PROGRAM_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported program payload version {payload.get('version')!r}"
+        )
+    blocks = [
+        BlockInfo(
+            block_id=int(row[0]),
+            address=int(row[1]),
+            size_bytes=int(row[2]),
+            instruction_count=int(row[3]),
+            function_id=int(row[4]),
+        )
+        for row in payload["blocks"]
+    ]
+    return Program(blocks, name=str(payload.get("name", "program")))
+
+
 # -- sharding ---------------------------------------------------------------
 #
 # A shard is a contiguous run of trace positions.  Shards are cut

@@ -23,6 +23,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from .adversarial import (
+    ADVERSARIAL_APP_NAMES,
+    ADVERSARIAL_BUILDERS,
+    ADVERSARIAL_SPECS,
+)
 from .synthesis import AppSpec, SyntheticApp, scaled_spec, synthesize
 
 #: Canonical evaluation order (matches the paper's figure x-axes).
@@ -37,6 +42,12 @@ APP_NAMES: Tuple[str, ...] = (
     "verilator",
     "wordpress",
 )
+
+#: Every buildable app: the paper's nine plus the adversarial roster
+#: (:mod:`repro.workloads.adversarial`).  The adversarial names stay
+#: out of ``APP_NAMES`` on purpose — figure averages and the headline
+#: numbers are defined over the paper's nine apps only.
+ALL_APP_NAMES: Tuple[str, ...] = APP_NAMES + ADVERSARIAL_APP_NAMES
 
 
 def _mix(weights: List[float]) -> Tuple[float, ...]:
@@ -171,11 +182,13 @@ _CACHE: Dict[Tuple[str, float], SyntheticApp] = {}
 
 def app_spec(name: str) -> AppSpec:
     """The generative spec for application *name*."""
+    if name in ADVERSARIAL_SPECS:
+        return ADVERSARIAL_SPECS[name]
     try:
         return _SPECS[name]
     except KeyError:
         raise KeyError(
-            f"unknown application {name!r}; known: {', '.join(APP_NAMES)}"
+            f"unknown application {name!r}; known: {', '.join(ALL_APP_NAMES)}"
         ) from None
 
 
@@ -183,8 +196,12 @@ def build_app(name: str, scale: float = 1.0) -> SyntheticApp:
     """Synthesize a fresh instance of application *name*.
 
     ``scale`` shrinks/grows the per-layer function counts — test
-    suites use small scales for speed; benchmarks use 1.0.
+    suites use small scales for speed; benchmarks use 1.0.  The
+    adversarial roster builds through its dedicated generators, which
+    interpret ``scale`` the same way.
     """
+    if name in ADVERSARIAL_BUILDERS:
+        return ADVERSARIAL_BUILDERS[name](scale)
     spec = app_spec(name)
     if scale != 1.0:
         spec = scaled_spec(spec, scale)

@@ -10,13 +10,15 @@ explicit ``random.Random`` so failures replay from the seed alone.
 from __future__ import annotations
 
 import pytest
+from hypothesis import strategies as st
 
 from repro.core.hashing import context_mask
 from repro.core.instructions import PrefetchInstr, PrefetchPlan
 from repro.profiling.profiler import profile_execution
 from repro.sim.params import line_of
 from repro.sim.trace import BlockInfo, BlockTrace, Program
-from repro.workloads.apps import build_app
+from repro.workloads.adversarial import ADVERSARIAL_APP_NAMES
+from repro.workloads.apps import build_app, get_app
 
 
 def make_program(block_sizes, base_address=0x400000, name="test-program"):
@@ -138,6 +140,32 @@ def engine_state(core):
     return state
 
 
+#: the scale the test suites build adversarial apps at (small enough
+#: to build in tens of milliseconds, big enough to stress the L1I)
+ADVERSARIAL_TEST_SCALE = 0.12
+
+
+def adversarial_app(name, scale=ADVERSARIAL_TEST_SCALE):
+    """A (memoized) adversarial app at the suite's standard scale."""
+    return get_app(name, scale)
+
+
+@st.composite
+def adversarial_workloads(draw, lengths=(240, 600)):
+    """Hypothesis strategy: one adversarial app plus a seeded trace.
+
+    Draws the generator name, walk seed and trace length; the app
+    itself is deterministic per name (memoized via :func:`get_app`),
+    so shrinking only moves along the seed/length axes.  Returns
+    ``(name, app, trace)``.
+    """
+    name = draw(st.sampled_from(ADVERSARIAL_APP_NAMES), label="app")
+    app = adversarial_app(name)
+    seed = draw(st.integers(0, 2**16), label="walk_seed")
+    length = draw(st.sampled_from(lengths), label="length")
+    return name, app, app.trace(length, seed=seed)
+
+
 @pytest.fixture
 def tiny_program():
     """Four 64-byte blocks, one cache line each."""
@@ -167,3 +195,25 @@ def small_profile(small_app):
 @pytest.fixture(scope="session")
 def small_eval_trace(small_app):
     return small_app.trace(24_000, seed=small_app.spec.seed + 31337)
+
+
+@pytest.fixture(scope="session")
+def ingested_fixture(tmp_path_factory):
+    """A ChampSim-style fixture trace, ingested end to end.
+
+    A small synthetic app's block trace is expanded to instruction
+    records, written as a gzip'd ChampSim binary, re-ingested, and
+    persisted as an on-disk shard directory — the external-trace path
+    the differential and protocol-contract suites replay through every
+    backend.  Returns ``(workload, sharded_trace)``.
+    """
+    from repro.workloads import ingest as ing
+
+    app = build_app("finagle-http", scale=0.2)
+    trace = app.trace(6_000, seed=app.spec.seed + 404)
+    root = tmp_path_factory.mktemp("ingested")
+    path = root / "fixture.trace.gz"
+    ing.write_champsim_fixture(path, app.program, trace, compress="gz")
+    workload = ing.ingest_trace_file(path)
+    sharded = ing.write_ingested(workload, root / "shards", shard_insns=2048)
+    return workload, sharded

@@ -30,6 +30,7 @@ from repro.sim.stats import SimStats
 from repro.sim.streaming import run_plan_batch
 
 from ..conftest import (
+    adversarial_workloads,
     engine_state,
     hierarchy_state,
     make_random_plan,
@@ -232,3 +233,24 @@ def test_batch_property(data):
             core = _core(program, plan, traffic_seed)
             core.run(trace, warmup=warmup, shard_insns=shard_insns)
         assert _snap(core) == expected[i], f"slot {i}"
+
+
+@settings(max_examples=6, deadline=None)
+@given(case=adversarial_workloads(), seed=st.integers(0, 2**16))
+def test_adversarial_batch_property(case, seed):
+    """The stress generators batch exactly too: a variant pair over a
+    hash-saturating / Bloom-heavy / phase-changing app reproduces the
+    per-variant reference answers (default LBR depth — the overflow
+    bail-out has its own suite in ``tests/workloads``)."""
+    name, app, trace = case
+    rng = random.Random(seed)
+    plans = [
+        make_random_plan(rng, app.program, n_sites=rng.randint(2, 6))
+        for _ in range(2)
+    ]
+    expected = _solo(app.program, trace, plans, "reference")
+    cores = [_core(app.program, plan, None) for plan in plans]
+    with kernel.force_numpy_kernel():
+        reasons = run_plan_batch(cores, trace)
+    assert reasons == [None, None], name
+    assert [_snap(core) for core in cores] == expected, name

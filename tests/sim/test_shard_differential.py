@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import kernel
 from repro.sim.columnar import columnar_view
@@ -30,6 +32,7 @@ from repro.sim.trace import (
 )
 
 from ..conftest import (
+    adversarial_workloads,
     engine_state,
     hierarchy_state,
     make_random_plan,
@@ -687,3 +690,38 @@ class TestOnDiskShards:
         assert core.last_replay_backend == whole_core.last_replay_backend
         assert hierarchy_state(core) == hierarchy_state(whole_core)
         assert engine_state(core) == engine_state(whole_core)
+
+
+class TestAdversarialApps:
+    """The zoo's stress generators run through the same invariants.
+
+    Hash saturation, Bloom-heavy miss storms and phase-changing call
+    chains are exactly the inputs that would expose a sharding or
+    parallelism bug the benign factories miss — so the randomized
+    sweep samples them from the shared conftest strategy."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(case=adversarial_workloads(), seed=st.integers(0, 2**16))
+    def test_sharding_invisible(self, case, seed):
+        name, app, trace = case
+        plan = make_random_plan(random.Random(seed), app.program, n_sites=5)
+        for backend in BACKENDS:
+            _assert_sharding_invisible(
+                app.program, trace, backend, plan=plan,
+                shard_sizes=(37, 10**9),
+            )
+
+    @settings(max_examples=6, deadline=None)
+    @given(case=adversarial_workloads())
+    def test_parallel_exact_bit_identity(self, case):
+        name, app, trace = case
+        seq_core, seq_stats = _replay(
+            app.program, trace, "columnar", shard_insns=37
+        )
+        core, stats = _replay(
+            app.program, trace, "columnar", shard_insns=37,
+            parallel=ParallelConfig(mode="exact", workers=2),
+        )
+        assert stats == seq_stats, name
+        assert hierarchy_state(core) == hierarchy_state(seq_core), name
+        assert engine_state(core) == engine_state(seq_core), name
